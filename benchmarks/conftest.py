@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment configuration, prints the series the paper plots
+(visible with ``pytest -s``), and appends it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture
+def emit(request):
+    """Print a report and persist it under benchmarks/results/."""
+
+    def _emit(report) -> None:
+        text = report.render() if hasattr(report, "render") else str(report)
+        print("\n" + text + "\n")
+        path = RESULTS_DIR / f"{request.node.name}.txt"
+        path.write_text(text + "\n")
+
+    return _emit
+
+
+def bench_scale(default: int, env: str = "REPRO_BENCH_SCALE") -> int:
+    """Allow scaling benchmark workloads down via environment variable.
+
+    ``REPRO_BENCH_SCALE=4`` divides request counts by 4 (useful on slow
+    CI); the default reproduces the paper's parameters.
+    """
+    factor = int(os.environ.get(env, "1"))
+    return max(1, default // max(1, factor))

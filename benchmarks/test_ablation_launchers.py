@@ -1,0 +1,55 @@
+"""Ablation: launch method vs. the Fig. 3 concurrency knee (§IV-B).
+
+The paper attributes the launch-time growth past 160 concurrent instances
+to MPI startup and points to resource partitioning/asynchronous execution
+as mitigations.  Here we swap the launch method under Experiment 1 at 320
+concurrent services: SSH (no collective startup) trades a knee for mild
+linear growth; FORK is flat -- quantifying how much of the bootstrap
+overhead is the launcher's.
+"""
+
+import pytest
+
+from repro.analytics import ReportBuilder, run_experiment1
+from repro.hpc import FRONTIER, register_platform
+
+N_SERVICES = 320
+METHODS = ("MPIEXEC", "SSH", "FORK")
+
+
+def _platform_for(method: str) -> str:
+    if method == "MPIEXEC":
+        return "frontier"
+    name = f"frontier-{method.lower()}"
+    register_platform(FRONTIER.with_overrides(
+        name=name, launch_method=method), overwrite=True)
+    return name
+
+
+@pytest.mark.benchmark(group="ablation-launch")
+def test_ablation_launch_methods(benchmark, emit):
+    results = {}
+
+    def run_all():
+        for method in METHODS:
+            results[method] = run_experiment1(
+                N_SERVICES, seed=88, platform=_platform_for(method))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for method in METHODS:
+        row = results[method].row()
+        rows.append([method, row["launch_mean_s"], row["init_mean_s"],
+                     row["bt_mean_s"], results[method].wallclock_s])
+    report = ReportBuilder(
+        f"Ablation -- launch method at {N_SERVICES} concurrent services "
+        "(Frontier topology)")
+    report.add_table(["launcher", "launch(mean)", "init(mean)", "BT(mean)",
+                      "all-ready"], rows)
+    emit(report)
+
+    launch = {m: results[m].row()["launch_mean_s"] for m in METHODS}
+    assert launch["FORK"] < launch["SSH"] < launch["MPIEXEC"]
+    # beyond the knee, MPI launch pays a multiple of SSH's cost
+    assert launch["MPIEXEC"] > 1.5 * launch["SSH"]

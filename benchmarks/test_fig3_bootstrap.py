@@ -1,0 +1,64 @@
+"""Figure 3: Service Bootstrap Times on Frontier (Experiment 1).
+
+Reproduces the weak-scaling bootstrap experiment: 1..640 llama-8b service
+instances, one GPU each, launched inside a Frontier pilot.  For each
+instance count we report the mean per-instance launch / init / publish
+components -- the three stacked series of Fig. 3.
+
+Expected shape (checked by assertions):
+* ``init`` dominates at every scale;
+* ``launch`` is nearly constant up to 160 instances, growing beyond
+  (the MPI startup knee);
+* ``publish`` stays below ``launch`` everywhere.
+"""
+
+import pytest
+
+from repro.analytics import (
+    EXP1_INSTANCE_COUNTS,
+    ReportBuilder,
+    run_experiment1,
+)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_bootstrap_scaling(benchmark, emit):
+    results = {}
+
+    def run_all():
+        for n in EXP1_INSTANCE_COUNTS:
+            results[n] = run_experiment1(n, seed=42)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report = ReportBuilder(
+        "Fig. 3 -- Service Bootstrap Times (Frontier, llama-8b, 1 GPU each)")
+    rows = []
+    for n in EXP1_INSTANCE_COUNTS:
+        row = results[n].row()
+        rows.append([n, row["launch_mean_s"], row["init_mean_s"],
+                     row["publish_mean_s"], row["bt_mean_s"],
+                     row["bt_max_s"], results[n].wallclock_s])
+    report.add_table(
+        ["#instances", "launch(mean)", "init(mean)", "publish(mean)",
+         "BT(mean)", "BT(max)", "all-ready"],
+        rows)
+    report.add_text(
+        "Paper shape: init >> launch > publish; launch flat to 160 "
+        "instances then growing (MPI startup); publish < launch throughout.")
+    emit(report)
+
+    # -- shape assertions (the reproduction criteria) -------------------------
+    for n in EXP1_INSTANCE_COUNTS:
+        row = results[n].row()
+        assert row["init_mean_s"] > row["launch_mean_s"], \
+            f"init must dominate launch at n={n}"
+        assert row["publish_mean_s"] < row["launch_mean_s"], \
+            f"publish must stay below launch at n={n}"
+    launch_at = {n: results[n].row()["launch_mean_s"]
+                 for n in EXP1_INSTANCE_COUNTS}
+    # flat through the knee: <= 40% drift between 1 and 160 instances
+    assert launch_at[160] < launch_at[1] * 1.4
+    # knee: 640 instances launch much slower than 160
+    assert launch_at[640] > launch_at[160] * 2

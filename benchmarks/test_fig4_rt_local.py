@@ -1,0 +1,80 @@
+"""Figure 4: Service Response Times for local NOOP inference (Experiment 2).
+
+Strong scaling (16 clients against 1,2,4,8,16 Delta-local services) and
+weak scaling (n clients / n services), each client issuing 1024 NOOP
+requests.  Series reported: communication / service / inference components
+of RT -- communication dominates, inference is negligible (noop).
+"""
+
+import pytest
+
+from repro.analytics import (
+    REQUESTS_PER_CLIENT,
+    STRONG_SCALING_GRID,
+    WEAK_SCALING_GRID,
+    ReportBuilder,
+    run_experiment2,
+)
+from conftest import bench_scale
+
+
+def _rows(results):
+    rows = []
+    for (c, s), result in results.items():
+        row = result.row()
+        rows.append([f"{c}/{s}", row["rt_mean_s"],
+                     row["communication_mean_s"], row["service_mean_s"],
+                     row["inference_mean_s"],
+                     f"{row['throughput_rps']:.0f}"])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_rt_local_strong_and_weak(benchmark, emit):
+    n_requests = bench_scale(REQUESTS_PER_CLIENT)
+    strong, weak = {}, {}
+
+    def run_all():
+        for clients, services in STRONG_SCALING_GRID:
+            strong[(clients, services)] = run_experiment2(
+                clients, services, "local", n_requests=n_requests, seed=11)
+        for clients, services in WEAK_SCALING_GRID:
+            weak[(clients, services)] = run_experiment2(
+                clients, services, "local", n_requests=n_requests, seed=12)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report = ReportBuilder(
+        "Fig. 4 -- Local NOOP Response Times (Delta, "
+        f"{n_requests} requests/client)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        _rows(strong), title="Strong scaling (16 clients)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        _rows(weak), title="Weak scaling (clients == services)")
+    report.add_text(
+        "Paper shape: all components negligible vs. network latency; "
+        "communication dominates; RT roughly flat in weak scaling.")
+    emit(report)
+
+    # -- shape assertions ---------------------------------------------------------
+    for result in [*strong.values(), *weak.values()]:
+        assert result.metrics.dominant_component() == "communication"
+        means = result.metrics.component_means()
+        assert means["inference"] < means["communication"] / 10
+        # local latency regime: RT well under a millisecond
+        assert result.metrics.rt_stats.mean < 1e-3
+    # weak scaling is flat: extremes within 50%
+    weak_rts = [r.metrics.rt_stats.mean for r in weak.values()]
+    assert max(weak_rts) < min(weak_rts) * 1.5
+    # strong scaling: adding services relieves service-side queueing (the
+    # NOOP backend is fast enough that throughput stays client-bound)
+    strong_service = {s: r.metrics.component_means()["service"]
+                      for (c, s), r in strong.items()}
+    assert strong_service[16] < strong_service[1]
+    strong_tp = {s: r.metrics.throughput(r.makespan_s)
+                 for (c, s), r in strong.items()}
+    assert strong_tp[16] > strong_tp[1] * 0.95  # not degraded

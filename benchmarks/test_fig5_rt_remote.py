@@ -1,0 +1,69 @@
+"""Figure 5: Service Response Times for remote NOOP inference (Experiment 2).
+
+Identical grids to Fig. 4, but the services run remotely (R3 cloud server;
+node-to-node latency 0.47 +/- 0.04 ms vs. 0.063 ms locally).  Communication
+still dominates and rises by roughly the latency ratio.
+"""
+
+import pytest
+
+from repro.analytics import (
+    REQUESTS_PER_CLIENT,
+    STRONG_SCALING_GRID,
+    WEAK_SCALING_GRID,
+    ReportBuilder,
+    run_experiment2,
+)
+from conftest import bench_scale
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_rt_remote_strong_and_weak(benchmark, emit):
+    n_requests = bench_scale(REQUESTS_PER_CLIENT)
+    strong, weak, local_ref = {}, {}, {}
+
+    def run_all():
+        for clients, services in STRONG_SCALING_GRID:
+            strong[(clients, services)] = run_experiment2(
+                clients, services, "remote", n_requests=n_requests, seed=21)
+        for clients, services in WEAK_SCALING_GRID:
+            weak[(clients, services)] = run_experiment2(
+                clients, services, "remote", n_requests=n_requests, seed=22)
+        # one local reference point for the latency-ratio check
+        local_ref[(16, 16)] = run_experiment2(
+            16, 16, "local", n_requests=n_requests, seed=21)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    def rows(results):
+        out = []
+        for (c, s), result in results.items():
+            row = result.row()
+            out.append([f"{c}/{s}", row["rt_mean_s"],
+                        row["communication_mean_s"], row["service_mean_s"],
+                        row["inference_mean_s"],
+                        f"{row['throughput_rps']:.0f}"])
+        return out
+
+    report = ReportBuilder(
+        "Fig. 5 -- Remote NOOP Response Times (Delta -> R3, "
+        f"{n_requests} requests/client)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        rows(strong), title="Strong scaling (16 clients)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        rows(weak), title="Weak scaling (clients == services)")
+    emit(report)
+
+    # -- shape assertions ----------------------------------------------------------
+    for result in [*strong.values(), *weak.values()]:
+        assert result.metrics.dominant_component() == "communication"
+    remote_comm = strong[(16, 16)].metrics.component_means()["communication"]
+    local_comm = local_ref[(16, 16)].metrics.component_means()["communication"]
+    # latency ratio 0.47/0.063 ~ 7.5; allow a broad band around it
+    assert 4 < remote_comm / local_comm < 12
+    weak_rts = [r.metrics.rt_stats.mean for r in weak.values()]
+    assert max(weak_rts) < min(weak_rts) * 1.5

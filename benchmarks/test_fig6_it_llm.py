@@ -1,0 +1,112 @@
+"""Figure 6: Response times for LLAMA inference calls (Experiment 3).
+
+Same grids as Experiment 2 but with the llama-8b backend: every request
+produces a real (Markov-sampled) completion whose modelled duration follows
+the prefill+decode token cost.  Two series are reproduced:
+
+* remote (the paper's Fig. 6): inference dominates; strong scaling at few
+  services shows a large *service* (queueing) component because the
+  single-threaded backend is too slow for 16 clients;
+* local (§IV-D/Table II row 3a): model locality is a secondary concern --
+  the local-vs-remote RT difference is negligible relative to inference.
+"""
+
+import pytest
+
+from repro.analytics import (
+    STRONG_SCALING_GRID,
+    WEAK_SCALING_GRID,
+    ReportBuilder,
+    run_experiment3,
+)
+from conftest import bench_scale
+
+#: requests per client; at seconds per inference the queueing/domination
+#: shape is established well below the paper's 1024.
+N_REQUESTS = bench_scale(32)
+
+
+def _rows(results):
+    rows = []
+    for (c, s), result in results.items():
+        row = result.row()
+        rows.append([f"{c}/{s}", row["rt_mean_s"],
+                     row["communication_mean_s"], row["service_mean_s"],
+                     row["inference_mean_s"],
+                     f"{row['throughput_rps']:.2f}"])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_llama_remote_strong_and_weak(benchmark, emit):
+    strong, weak = {}, {}
+
+    def run_all():
+        for clients, services in STRONG_SCALING_GRID:
+            strong[(clients, services)] = run_experiment3(
+                clients, services, "remote", n_requests=N_REQUESTS, seed=31)
+        for clients, services in WEAK_SCALING_GRID:
+            weak[(clients, services)] = run_experiment3(
+                clients, services, "remote", n_requests=N_REQUESTS, seed=32)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report = ReportBuilder(
+        "Fig. 6 -- Remote LLAMA Response Times (Delta -> R3, llama-8b, "
+        f"{N_REQUESTS} requests/client)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        _rows(strong), title="Strong scaling (16 clients)")
+    report.add_table(
+        ["clients/services", "RT(mean)", "communication", "service",
+         "inference", "req/s"],
+        _rows(weak), title="Weak scaling (clients == services)")
+    report.add_text(
+        "Paper shape: inference dominates weak scaling; strong scaling at "
+        "few services queues requests (large service component) because "
+        "the single-threaded backend is too slow for 16 clients.")
+    emit(report)
+
+    # -- shape assertions ----------------------------------------------------------
+    # weak scaling: inference dominates everywhere, communication negligible
+    for result in weak.values():
+        means = result.metrics.component_means()
+        assert means["inference"] > 100 * means["communication"]
+        assert means["inference"] > means["service"]
+    # strong scaling at 16/1: the backend is saturated -> queueing dominates
+    saturated = strong[(16, 1)].metrics.component_means()
+    assert saturated["service"] > saturated["inference"]
+    # adding services drains the queue
+    relaxed = strong[(16, 16)].metrics.component_means()
+    assert relaxed["service"] < saturated["service"] / 4
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_llama_local_vs_remote(benchmark, emit):
+    """Model locality is secondary once inference dominates (§IV-D)."""
+    results = {}
+
+    def run_pair():
+        results["local"] = run_experiment3(
+            8, 8, "local", n_requests=N_REQUESTS, seed=33)
+        results["remote"] = run_experiment3(
+            8, 8, "remote", n_requests=N_REQUESTS, seed=33)
+
+    benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    rows = []
+    for kind, result in results.items():
+        row = result.row()
+        rows.append([kind, row["rt_mean_s"], row["communication_mean_s"],
+                     row["inference_mean_s"]])
+    report = ReportBuilder("Fig. 6 (companion) -- llama-8b local vs remote, "
+                           "8 clients / 8 services")
+    report.add_table(["deployment", "RT(mean)", "communication",
+                      "inference"], rows)
+    emit(report)
+
+    local_rt = results["local"].metrics.rt_stats.mean
+    remote_rt = results["remote"].metrics.rt_stats.mean
+    # RT difference negligible relative to inference duration
+    assert abs(remote_rt - local_rt) < 0.05 * max(local_rt, remote_rt)

@@ -1,0 +1,143 @@
+"""Microbenchmarks: the substrate the experiments stand on.
+
+These use pytest-benchmark's statistical loop (multiple rounds) to track
+the kernel costs that bound simulation scale: DES event throughput, bus
+round-trips, scheduler grant/release cycles, MLP training and the Markov
+generator.
+"""
+
+import pytest
+
+from repro.comm import MessageBus
+from repro.hpc import DELTA, Fabric, NodeList
+from repro.pilot import Session, TaskDescription
+from repro.pilot.agent.scheduler import AgentScheduler
+from repro.pilot.task import Task
+from repro.serving import LlamaModel, default_generator
+from repro.sim import RngHub, SimulationEngine
+from repro.workflows import MLPClassifier, MLPConfig
+
+import numpy as np
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_engine_event_throughput(benchmark):
+    """Cost of scheduling + draining 10k timeout events."""
+
+    def run():
+        engine = SimulationEngine()
+        for i in range(10_000):
+            engine.timeout(float(i % 100))
+        engine.run()
+        return engine.now
+
+    result = benchmark(run)
+    assert result == 99.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_process_switch_throughput(benchmark):
+    """Cost of 10k generator-process resumptions."""
+
+    def run():
+        engine = SimulationEngine()
+
+        def proc():
+            for _ in range(10_000):
+                yield engine.timeout(0.001)
+
+        engine.process(proc())
+        engine.run()
+        return engine.now
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_bus_round_trips(benchmark):
+    """1000 request/reply round trips over the latency-modelled bus."""
+
+    def run():
+        engine = SimulationEngine()
+        fabric = Fabric(RngHub(0).stream("f"))
+        fabric.add_platform(DELTA)
+        bus = MessageBus(engine, fabric)
+        server = bus.bind("svc", platform="delta")
+        bus.serve(server, handler=lambda m: m.payload)
+        client = bus.connect(platform="delta")
+
+        def requester():
+            for i in range(1000):
+                yield client.request(server.address, i)
+
+        engine.process(requester())
+        engine.run()
+        return bus.delivered_count
+
+    delivered = benchmark(run)
+    assert delivered == 2000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_scheduler_grant_release(benchmark):
+    """1000 schedule/release cycles on a 16-node pilot."""
+
+    def run():
+        with Session(seed=0) as session:
+            nodes = NodeList.build(16, cores=64, gpus=4, mem_gb=256)
+            sched = AgentScheduler(session, nodes, "pilot.micro")
+            for i in range(1000):
+                task = Task(session, TaskDescription(
+                    executable="x", cores_per_rank=8, gpus_per_rank=1),
+                    f"t{i}")
+                grant = sched.schedule(task)
+                session.run()
+                assert grant.processed
+                sched.release(task)
+            return len(nodes)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_mlp_fit(benchmark):
+    """One small MLP training run (the HPO trial payload)."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(256, 10))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+
+    def run():
+        model = MLPClassifier(MLPConfig(hidden=32, epochs=12, seed=1))
+        model.fit(X, y)
+        return model.score(X, y)
+
+    accuracy = benchmark(run)
+    assert accuracy > 0.75
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_markov_generation(benchmark):
+    """256-token completion from the synthetic LLM."""
+    generator = default_generator()
+    rng = RngHub(3).stream("gen")
+
+    def run():
+        return generator.generate("hybrid workflows", 256, rng)
+
+    text = benchmark(run)
+    assert len(text.split()) == 256
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_llama_cost_model(benchmark):
+    """Full backend inference (cost model + text generation)."""
+    model = LlamaModel()
+    rng = RngHub(4).stream("llm")
+
+    def run():
+        payload, duration = model.infer("the scheduler", rng,
+                                        {"max_tokens": 128})
+        return duration
+
+    duration = benchmark(run)
+    assert duration > 0

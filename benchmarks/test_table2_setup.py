@@ -1,0 +1,76 @@
+"""Table II: the experiment setup matrix.
+
+Instantiates every row of Table II (at reduced request counts where the row
+is only a configuration check) and verifies the stated setup holds on our
+substrate: platforms, task types, models, deployment modes, pilot shapes
+and scaling regimes.
+"""
+
+import pytest
+
+from repro.analytics import ReportBuilder, run_experiment1, run_service_workload
+from repro.hpc import get_platform
+
+
+TABLE2_ROWS = [
+    # id, platform, task type, model, deployment, #tasks, #models, scaling
+    ("1", "frontier", "n/a", "llama-8b", "local", "n/a", "1-640", "weak"),
+    ("2a", "delta", "NOOP", "noop", "local", "1-16", "1-16", "strong/weak"),
+    ("2b", "delta+r3", "NOOP", "noop", "remote", "1-16", "1-16",
+     "strong/weak"),
+    ("3a", "delta", "inference", "llama-8b", "local", "1-16", "1-16",
+     "strong/weak"),
+    ("3b", "delta+r3", "inference", "llama-8b", "remote", "1-16", "1-16",
+     "strong/weak"),
+]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_experiment_setup(benchmark, emit):
+    """Run a miniature instance of every Table II row."""
+    outcomes = {}
+
+    def run_all():
+        outcomes["1"] = run_experiment1(4, seed=1)
+        outcomes["2a"] = run_service_workload(
+            4, 4, "local", model="noop", n_requests=32, seed=1)
+        outcomes["2b"] = run_service_workload(
+            4, 4, "remote", model="noop", n_requests=32, seed=1)
+        outcomes["3a"] = run_service_workload(
+            4, 4, "local", model="llama-8b", n_requests=4, seed=1)
+        outcomes["3b"] = run_service_workload(
+            4, 4, "remote", model="llama-8b", n_requests=4, seed=1)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report = ReportBuilder("Table II -- Experiment setup "
+                           "(validated configurations)")
+    report.add_table(
+        ["ID", "HPC Platform", "Task Type", "Model", "Deployment",
+         "#Tasks", "#Models", "Scaling"],
+        TABLE2_ROWS)
+    # pilot shape row (Table II: 256 cores / 16 GPUs on Delta; 640 GPUs
+    # worth of nodes on Frontier for experiment 1)
+    delta = get_platform("delta")
+    report.add_kv({
+        "Delta pilot": f"{4 * delta.cores_per_node} cores / "
+                       f"{4 * delta.gpus_per_node} GPUs (4 nodes)",
+        "Frontier pilot (640 services)":
+            f"{640 // get_platform('frontier').gpus_per_node} nodes "
+            f"(8 GPUs each)",
+        "requests/client (Exp 2)": "1024",
+    }, title="Pilot shapes:")
+    emit(report)
+
+    # every configuration ran and produced the right kind of result
+    assert outcomes["1"].metrics.total.size == 4
+    for row_id, deployment, model in [
+            ("2a", "local", "noop"), ("2b", "remote", "noop"),
+            ("3a", "local", "llama-8b"), ("3b", "remote", "llama-8b")]:
+        result = outcomes[row_id]
+        assert result.deployment == deployment
+        assert result.model == model
+        assert result.metrics.n_requests == 4 * (32 if model == "noop" else 4)
+    # NOOP rows are latency-bound; inference rows are compute-bound
+    assert outcomes["2a"].metrics.dominant_component() == "communication"
+    assert outcomes["3b"].metrics.component_means()["inference"] > 1.0

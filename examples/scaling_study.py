@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Mini scaling study: all three experiments of §IV at reduced scale.
+
+Prints the Fig. 3 / Fig. 4-5 / Fig. 6 series at example-friendly sizes.
+The full-parameter versions live in benchmarks/ (one per figure).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analytics import (
+    ReportBuilder,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+)
+
+
+def main() -> None:
+    report = ReportBuilder("Mini scaling study (reduced-scale §IV)")
+
+    rows = []
+    for n in (1, 4, 16, 64):
+        row = run_experiment1(n, seed=2).row()
+        rows.append([n, row["launch_mean_s"], row["init_mean_s"],
+                     row["publish_mean_s"], row["bt_mean_s"]])
+    report.add_table(["#services", "launch", "init", "publish", "BT"],
+                     rows, title="Experiment 1 -- bootstrap (Frontier)")
+
+    rows = []
+    for clients, services in ((4, 1), (4, 4)):
+        for deployment in ("local", "remote"):
+            r = run_experiment2(clients, services, deployment,
+                                n_requests=256, seed=2).row()
+            rows.append([f"{clients}/{services}", deployment,
+                         r["rt_mean_s"], r["communication_mean_s"],
+                         r["service_mean_s"]])
+    report.add_table(["clients/services", "deployment", "RT", "comm",
+                      "service"], rows,
+                     title="Experiment 2 -- NOOP response time")
+
+    rows = []
+    for clients, services in ((8, 1), (8, 8)):
+        r = run_experiment3(clients, services, "remote", n_requests=8,
+                            seed=2).row()
+        rows.append([f"{clients}/{services}", r["rt_mean_s"],
+                     r["service_mean_s"], r["inference_mean_s"]])
+    report.add_table(["clients/services", "RT", "service(queue)",
+                      "inference"], rows,
+                     title="Experiment 3 -- llama-8b inference (remote)")
+    report.add_text("Shapes: init dominates BT; communication dominates "
+                    "NOOP RT; inference dominates LLM RT, with queueing "
+                    "when services are scarce.")
+    report.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Analytics: metric extraction, experiment drivers and report rendering."""
+
+from .metrics import (
+    BootstrapMetrics,
+    DistStats,
+    ResponseMetrics,
+    bootstrap_metrics,
+    dist_stats,
+    response_metrics,
+)
+from .experiments import (
+    EXP1_INSTANCE_COUNTS,
+    REQUESTS_PER_CLIENT,
+    STRONG_SCALING_GRID,
+    WEAK_SCALING_GRID,
+    Exp1Result,
+    Exp23Result,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_service_workload,
+)
+from .report import ReportBuilder, format_seconds, render_table
+
+__all__ = [
+    "BootstrapMetrics",
+    "DistStats",
+    "ResponseMetrics",
+    "bootstrap_metrics",
+    "dist_stats",
+    "response_metrics",
+    "EXP1_INSTANCE_COUNTS",
+    "REQUESTS_PER_CLIENT",
+    "STRONG_SCALING_GRID",
+    "WEAK_SCALING_GRID",
+    "Exp1Result",
+    "Exp23Result",
+    "run_experiment1",
+    "run_experiment2",
+    "run_experiment3",
+    "run_service_workload",
+    "ReportBuilder",
+    "format_seconds",
+    "render_table",
+]

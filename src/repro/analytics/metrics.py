@@ -1,0 +1,186 @@
+"""Metric extraction: the paper's BT / RT / IT decompositions.
+
+§IV defines three metrics:
+
+* **Bootstrap Time (BT)** -- time for services to become available, split
+  into ``launch`` (placing the service executable), ``init`` (loading and
+  initialising the model) and ``publish`` (communicating the endpoint);
+* **Response Time (RT)** -- time for a service to acknowledge a request,
+  split into ``communication``, ``service`` (queue/parse/serialise) and
+  ``inference``;
+* **Inference Time (IT)** -- the inference component alone.
+
+BT components come from profiler events recorded by the ServiceManager;
+RT/IT come from the per-request :class:`~repro.core.client.InferenceResult`
+records.  Everything is vectorised with numpy (means, stds, percentiles,
+tails), since the paper reports distributions "across multiple task,
+service, and model instances".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.client import InferenceResult
+from ..pilot.profiler import Profiler
+
+__all__ = [
+    "DistStats",
+    "dist_stats",
+    "BootstrapMetrics",
+    "bootstrap_metrics",
+    "ResponseMetrics",
+    "response_metrics",
+]
+
+
+@dataclass(frozen=True)
+class DistStats:
+    """Summary statistics of one duration distribution (seconds)."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return (f"n={self.n} mean={self.mean:.4g}s std={self.std:.3g} "
+                f"p50={self.p50:.4g} p95={self.p95:.4g}")
+
+
+def dist_stats(values: Sequence[float]) -> DistStats:
+    """Compute :class:`DistStats` (empty input yields NaNs, n=0)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return DistStats(0, nan, nan, nan, nan, nan, nan)
+    return DistStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+@dataclass
+class BootstrapMetrics:
+    """Per-service BT component arrays plus their stats (Experiment 1)."""
+
+    uids: List[str]
+    launch: np.ndarray
+    init: np.ndarray
+    publish: np.ndarray
+    total: np.ndarray
+
+    @property
+    def launch_stats(self) -> DistStats:
+        return dist_stats(self.launch)
+
+    @property
+    def init_stats(self) -> DistStats:
+        return dist_stats(self.init)
+
+    @property
+    def publish_stats(self) -> DistStats:
+        return dist_stats(self.publish)
+
+    @property
+    def total_stats(self) -> DistStats:
+        return dist_stats(self.total)
+
+    def component_means(self) -> Dict[str, float]:
+        return {
+            "launch": float(self.launch.mean()) if self.launch.size else float("nan"),
+            "init": float(self.init.mean()) if self.init.size else float("nan"),
+            "publish": float(self.publish.mean()) if self.publish.size else float("nan"),
+        }
+
+
+def bootstrap_metrics(profiler: Profiler,
+                      uids: Iterable[str]) -> BootstrapMetrics:
+    """Extract BT components for the given service uids."""
+    uids = list(uids)
+    launch = profiler.durations(uids, "launch_start", "launch_stop")
+    init = profiler.durations(uids, "init_start", "init_stop")
+    publish = profiler.durations(uids, "publish_start", "publish_stop")
+    total = profiler.durations(uids, "bootstrap_start", "bootstrap_stop")
+    return BootstrapMetrics(uids=uids, launch=launch, init=init,
+                            publish=publish, total=total)
+
+
+@dataclass
+class ResponseMetrics:
+    """Per-request RT component arrays plus stats (Experiments 2-3)."""
+
+    response_time: np.ndarray
+    communication: np.ndarray
+    service: np.ndarray
+    inference: np.ndarray
+    queue: np.ndarray
+    n_requests: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.n_requests = int(self.response_time.size)
+
+    @property
+    def rt_stats(self) -> DistStats:
+        return dist_stats(self.response_time)
+
+    @property
+    def communication_stats(self) -> DistStats:
+        return dist_stats(self.communication)
+
+    @property
+    def service_stats(self) -> DistStats:
+        return dist_stats(self.service)
+
+    @property
+    def inference_stats(self) -> DistStats:
+        return dist_stats(self.inference)
+
+    @property
+    def queue_stats(self) -> DistStats:
+        return dist_stats(self.queue)
+
+    def dominant_component(self) -> str:
+        """Which component contributes most to mean RT."""
+        means = {
+            "communication": float(self.communication.mean()),
+            "service": float(self.service.mean()),
+            "inference": float(self.inference.mean()),
+        }
+        return max(means, key=means.get)
+
+    def component_means(self) -> Dict[str, float]:
+        return {
+            "communication": float(self.communication.mean()),
+            "service": float(self.service.mean()),
+            "inference": float(self.inference.mean()),
+        }
+
+    def throughput(self, makespan_s: float) -> float:
+        """Requests per second over a given makespan."""
+        if makespan_s <= 0:
+            raise ValueError("makespan must be positive")
+        return self.n_requests / makespan_s
+
+
+def response_metrics(results: Iterable[InferenceResult]) -> ResponseMetrics:
+    """Build RT metrics from client-side inference results."""
+    results = list(results)
+    return ResponseMetrics(
+        response_time=np.array([r.response_time for r in results]),
+        communication=np.array([r.communication for r in results]),
+        service=np.array([r.service_time for r in results]),
+        inference=np.array([r.inference_time for r in results]),
+        queue=np.array([r.queue_time for r in results]),
+    )

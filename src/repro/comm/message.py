@@ -1,0 +1,96 @@
+"""Message envelopes and payload size accounting.
+
+Every exchange on the bus is a :class:`Message`: a routable envelope with a
+correlation id (to pair requests with replies), sender/recipient addresses
+and wire-size estimation.  Size matters because the fabric charges
+``latency + nbytes/bandwidth`` per delivery -- a NOOP request is a few hundred
+bytes, a staged image batch is megabytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Address", "Message", "estimate_size"]
+
+_MSG_COUNTER = itertools.count()
+
+#: Fixed framing overhead per message (headers, envelope), in bytes.
+ENVELOPE_OVERHEAD = 256
+
+
+def estimate_size(payload: Any) -> int:
+    """Estimate the wire size of *payload* in bytes.
+
+    Uses the pickle encoding length (the bus serialises with pickle, like
+    mpi4py's lowercase communication methods) plus envelope overhead.
+    Objects that cannot be pickled are charged the overhead only -- they can
+    still travel in-process, mirroring ZeroMQ inproc transports.
+    """
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)) \
+            + ENVELOPE_OVERHEAD
+    except Exception:
+        return ENVELOPE_OVERHEAD
+
+
+@dataclass(frozen=True)
+class Address:
+    """A bus endpoint address: a unique name plus its hosting platform.
+
+    The platform is what the fabric uses to sample latency for deliveries
+    to/from this endpoint.
+    """
+
+    name: str
+    platform: str
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.platform}"
+
+
+@dataclass
+class Message:
+    """One envelope travelling on the bus."""
+
+    kind: str                      # "request" | "reply" | "pub" | "control"
+    payload: Any
+    sender: Optional[Address] = None
+    recipient: Optional[Address] = None
+    topic: Optional[str] = None    # for pub/sub traffic
+    corr_id: Optional[int] = None  # pairs replies with requests
+    #: server-side bookkeeping attached to replies (timestamps, etc.)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_MSG_COUNTER))
+    sent_at: Optional[float] = None
+    received_at: Optional[float] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Wire-size estimate (cached after first computation)."""
+        cached = self.meta.get("_nbytes")
+        if cached is None:
+            cached = estimate_size(self.payload)
+            self.meta["_nbytes"] = cached
+        return cached
+
+    def make_reply(self, payload: Any, sender: Address,
+                   meta: Optional[Dict[str, Any]] = None) -> "Message":
+        """Build the reply envelope for this request."""
+        if self.sender is None:
+            raise ValueError("cannot reply to a message without a sender")
+        return Message(
+            kind="reply",
+            payload=payload,
+            sender=sender,
+            recipient=self.sender,
+            corr_id=self.corr_id if self.corr_id is not None else self.uid,
+            meta=dict(meta or {}),
+        )
+
+    def __repr__(self) -> str:
+        return (f"<Message #{self.uid} {self.kind} "
+                f"{self.sender}->{self.recipient} corr={self.corr_id}>")

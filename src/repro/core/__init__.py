@@ -1,0 +1,34 @@
+"""The paper's primary contribution: service-oriented runtime extensions.
+
+Extends the pilot runtime with service management (launch/init/publish/ready
+lifecycle, heartbeat liveness, priority scheduling), an endpoint registry,
+request clients with RT decomposition and load-balancing policies -- the
+architecture of Fig. 2.
+"""
+
+from .client import InferenceResult, ServiceClient
+from .load_balancer import (
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    create_balancer,
+)
+from .registry import EndpointRegistry, ServiceInfo
+from .service import ServiceInstance
+from .service_manager import ServiceHandle, ServiceManager
+
+__all__ = [
+    "InferenceResult",
+    "ServiceClient",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "create_balancer",
+    "EndpointRegistry",
+    "ServiceInfo",
+    "ServiceInstance",
+    "ServiceHandle",
+    "ServiceManager",
+]

@@ -1,0 +1,148 @@
+"""ServiceClient: issues inference requests and decomposes response time.
+
+Reproduces the paper's measurement methodology (§IV): for every request the
+client records the total response time (RT) and splits it into
+
+* ``communication`` -- both network legs: RT minus the server-resident span;
+* ``service``       -- server-side queueing + parse + serialise;
+* ``inference``     -- backend busy window (IT).
+
+Results accumulate on the client and feed :mod:`repro.analytics.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence
+
+from ..comm.message import Address, Message
+from ..utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+    from .load_balancer import LoadBalancer
+
+__all__ = ["InferenceResult", "ServiceClient"]
+
+log = get_logger("core.client")
+
+
+@dataclass
+class InferenceResult:
+    """Timing decomposition and payload of one request/reply exchange."""
+
+    client_uid: str
+    service_uid: str
+    ok: bool
+    submitted_at: float
+    completed_at: float
+    response_time: float          # RT: total round trip
+    communication: float          # both wire legs
+    service_time: float           # queue + parse + serialize (server side)
+    inference_time: float         # backend busy window (IT)
+    queue_time: float             # part of service_time spent waiting
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return self.payload.get("text", "")
+
+
+class ServiceClient:
+    """A client task issuing requests to service endpoints."""
+
+    def __init__(self, session: "Session", platform: str,
+                 uid: Optional[str] = None) -> None:
+        self.session = session
+        self.uid = uid or session.ids.generate("client")
+        self.platform = platform
+        self.socket = session.bus.connect(platform, name=f"{self.uid}.sock")
+        self.results: List[InferenceResult] = []
+
+    # -- single request -------------------------------------------------------------
+    def infer(self, target: Address, prompt: str,
+              params: Optional[Dict[str, Any]] = None):
+        """Process body: one request/reply; returns :class:`InferenceResult`.
+
+        Use as ``result = yield from client.infer(addr, "...")`` inside a
+        simulation process.
+        """
+        engine = self.session.engine
+        t0 = engine.now
+        reply: Message = yield self.socket.request(
+            target, {"op": "infer", "prompt": prompt, "params": params or {}})
+        t1 = engine.now
+        result = self._decompose(reply, t0, t1)
+        self.results.append(result)
+        return result
+
+    def ping(self, target: Address):
+        """Process body: liveness probe; returns round-trip seconds."""
+        engine = self.session.engine
+        t0 = engine.now
+        yield self.socket.request(target, {"op": "ping"})
+        return engine.now - t0
+
+    def _decompose(self, reply: Message, t0: float,
+                   t1: float) -> InferenceResult:
+        meta = reply.meta
+        payload = reply.payload or {}
+        received = meta.get("received_at", t1)
+        dequeued = meta.get("dequeued_at", received)
+        infer_start = meta.get("infer_start_at", dequeued)
+        infer_stop = meta.get("infer_stop_at", infer_start)
+        replied = meta.get("replied_at", infer_stop)
+        rt = t1 - t0
+        server_span = replied - received
+        inference = infer_stop - infer_start
+        service_time = server_span - inference
+        return InferenceResult(
+            client_uid=self.uid,
+            service_uid=meta.get("service_uid", "?"),
+            ok=bool(payload.get("ok", False)),
+            submitted_at=t0,
+            completed_at=t1,
+            response_time=rt,
+            communication=rt - server_span,
+            service_time=service_time,
+            inference_time=inference,
+            queue_time=dequeued - received,
+            payload=payload,
+        )
+
+    # -- request streams --------------------------------------------------------------
+    def run_workload(self, targets: Sequence[Address], n_requests: int,
+                     prompt: str = "noop",
+                     params: Optional[Dict[str, Any]] = None,
+                     balancer: Optional["LoadBalancer"] = None):
+        """Process body: issue *n_requests* sequentially (the paper's client).
+
+        Each client sends a fixed number of requests (1024 in Exp 2/3) one
+        after another; the target for each request comes from the load
+        balancer (round-robin by default over *targets*).
+        Returns the list of results.
+        """
+        from .load_balancer import RoundRobinBalancer  # avoid cycle
+
+        if not targets:
+            raise ValueError("run_workload needs at least one target")
+        balancer = balancer or RoundRobinBalancer()
+        mine: List[InferenceResult] = []
+        for _ in range(n_requests):
+            target = balancer.pick(targets)
+            balancer.record_start(target)
+            try:
+                result = yield from self.infer(target, prompt, params)
+            finally:
+                balancer.record_done(target)
+            mine.append(result)
+        return mine
+
+    # -- stats ------------------------------------------------------------------------
+    def mean_rt(self) -> float:
+        if not self.results:
+            return float("nan")
+        return sum(r.response_time for r in self.results) / len(self.results)
+
+    def clear(self) -> None:
+        self.results.clear()

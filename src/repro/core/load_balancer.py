@@ -1,0 +1,110 @@
+"""Load-balancing policies for distributing requests over service instances.
+
+The paper employs "only a rudimentary load balancing" (§IV-E) -- i.e.
+round-robin -- and names dynamic rerouting "to less used service instances"
+as future work.  Both are implemented here (plus a random baseline) and
+compared by the load-balancer ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..comm.message import Address
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "RandomBalancer",
+    "LeastLoadedBalancer",
+    "create_balancer",
+]
+
+
+class LoadBalancer:
+    """Base policy: pick a target; observe request start/completion."""
+
+    name = "base"
+
+    def pick(self, targets: Sequence[Address]) -> Address:
+        raise NotImplementedError
+
+    def record_start(self, target: Address) -> None:
+        """A request to *target* is now in flight."""
+
+    def record_done(self, target: Address) -> None:
+        """A request to *target* completed."""
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """The paper's rudimentary policy: cycle through instances."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, targets: Sequence[Address]) -> Address:
+        if not targets:
+            raise ValueError("no targets")
+        target = targets[self._next % len(targets)]
+        self._next += 1
+        return target
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random selection."""
+
+    name = "random"
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+
+    def pick(self, targets: Sequence[Address]) -> Address:
+        if not targets:
+            raise ValueError("no targets")
+        return targets[int(self._rng.integers(len(targets)))]
+
+
+class LeastLoadedBalancer(LoadBalancer):
+    """Future-work policy: route to the instance with fewest in-flight
+    requests (ties broken round-robin)."""
+
+    name = "least-loaded"
+
+    def __init__(self) -> None:
+        self._in_flight: Dict[Address, int] = {}
+        self._next = 0
+
+    def pick(self, targets: Sequence[Address]) -> Address:
+        if not targets:
+            raise ValueError("no targets")
+        loads = [(self._in_flight.get(t, 0), i) for i, t in enumerate(targets)]
+        min_load = min(load for load, _ in loads)
+        candidates = [i for load, i in loads if load == min_load]
+        choice = candidates[self._next % len(candidates)]
+        self._next += 1
+        return targets[choice]
+
+    def record_start(self, target: Address) -> None:
+        self._in_flight[target] = self._in_flight.get(target, 0) + 1
+
+    def record_done(self, target: Address) -> None:
+        current = self._in_flight.get(target, 0)
+        self._in_flight[target] = max(0, current - 1)
+
+    def load_of(self, target: Address) -> int:
+        return self._in_flight.get(target, 0)
+
+
+def create_balancer(name: str, rng=None) -> LoadBalancer:
+    """Factory by policy name."""
+    if name == "round-robin":
+        return RoundRobinBalancer()
+    if name == "random":
+        if rng is None:
+            raise ValueError("random balancer needs an rng")
+        return RandomBalancer(rng)
+    if name == "least-loaded":
+        return LeastLoadedBalancer()
+    raise KeyError(f"unknown balancer {name!r}")

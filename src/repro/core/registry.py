@@ -1,0 +1,117 @@
+"""Endpoint registry: where services publish and clients discover endpoints.
+
+The third bootstrap component of Experiment 1 is "communicat[ing] the
+service endpoints to the task" (§IV-A) -- the ``publish`` phase of Fig. 3.
+The registry is itself a bus-served component: services register over
+request/reply (paying a fabric round-trip plus the registry's processing
+cost), and clients/load-balancers look endpoints up either over the bus or
+through the cheap in-process read path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..comm.message import Address, Message
+from ..utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+
+__all__ = ["ServiceInfo", "EndpointRegistry"]
+
+log = get_logger("core.registry")
+
+#: Registry-side processing cost of a (de)registration: endpoint validation
+#: and synchronisation with the agent.  Calibrated so the Fig. 3 publish
+#: component sits below the ~2 s launch component.
+PUBLISH_PROCESS_MEAN_S = 0.8
+PUBLISH_PROCESS_STD_S = 0.1
+
+
+@dataclass
+class ServiceInfo:
+    """One registered service endpoint."""
+
+    uid: str
+    name: str
+    address: Address
+    model: str
+    backend: str
+    platform: str
+    registered_at: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class EndpointRegistry:
+    """Bus-served registry of live service endpoints."""
+
+    def __init__(self, session: "Session", platform: str = "localhost",
+                 name: str = "registry") -> None:
+        self.session = session
+        self.platform = platform
+        self.socket = session.bus.bind(name, platform=platform)
+        self._entries: Dict[str, ServiceInfo] = {}
+        self._rng = session.rng(f"registry.{name}")
+        self._server = session.engine.process(self._serve())
+
+    @property
+    def address(self) -> Address:
+        return self.socket.address
+
+    # -- server loop -----------------------------------------------------------
+    def _serve(self):
+        """Accept loop: each request is handled by its own process.
+
+        Registrations are processed concurrently -- the processing cost
+        models per-endpoint validation/synchronisation work, not an
+        exclusive registry lock.  (A serialising registry would make the
+        Fig. 3 publish component grow linearly with the instance count,
+        which the paper does not observe.)
+        """
+        while True:
+            msg: Message = yield self.socket.recv()
+            self.session.engine.process(self._handle(msg))
+
+    def _handle(self, msg: Message):
+        engine = self.session.engine
+        op = (msg.payload or {}).get("op")
+        # Processing cost applies to state-changing operations.
+        if op in ("register", "deregister"):
+            cost = max(0.05, self._rng.normal(PUBLISH_PROCESS_MEAN_S,
+                                              PUBLISH_PROCESS_STD_S))
+            yield engine.timeout(cost)
+        if op == "register":
+            info = msg.payload["info"]
+            info.registered_at = engine.now
+            self._entries[info.name] = info
+            self.socket.reply(msg, {"ok": True, "name": info.name})
+        elif op == "deregister":
+            found = self._entries.pop(msg.payload["name"], None)
+            self.socket.reply(msg, {"ok": found is not None})
+        elif op == "lookup":
+            info = self._entries.get(msg.payload["name"])
+            self.socket.reply(msg, {"ok": info is not None, "info": info})
+        elif op == "list":
+            self.socket.reply(
+                msg, {"ok": True, "services": list(self._entries.values())})
+        else:
+            self.socket.reply(msg, {"ok": False,
+                                    "error": f"unknown op {op!r}"})
+
+    # -- cheap in-process reads (used by load balancers and tests) -----------------
+    def lookup(self, name: str) -> Optional[ServiceInfo]:
+        return self._entries.get(name)
+
+    def list_services(self, model: Optional[str] = None,
+                      platform: Optional[str] = None) -> List[ServiceInfo]:
+        out = list(self._entries.values())
+        if model is not None:
+            out = [s for s in out if s.model == model]
+        if platform is not None:
+            out = [s for s in out if s.platform == platform]
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,190 @@
+"""ServiceInstance: the running, request-serving side of a service task.
+
+Implements the paper's Service Base Class semantics (§III): a service
+exposes a well-defined request/reply API over the communication
+infrastructure, is available to receive calls at any time once READY, and --
+matching §IV -- handles requests with bounded concurrency (1 for the
+Ollama-like host: "services are single-threaded ... queuing further
+incoming requests").
+
+Request handling records the timestamps the client needs to decompose
+response time exactly as the paper does:
+
+* ``received_at``   -- request hit the service inbox (end of comm leg 1);
+* ``dequeued_at``   -- a worker picked it up (queue wait = service component);
+* ``infer_start_at``/``infer_stop_at`` -- backend busy window (IT);
+* ``replied_at``    -- reply handed to the wire (start of comm leg 2).
+
+Supported operations: ``infer``, ``ping`` (liveness/readiness), ``stop``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..comm.bus import ServerSocket
+from ..comm.message import Message, estimate_size
+from ..serving.hosts import ServingHost
+from ..sim.events import Interrupt, Process
+from ..utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+
+__all__ = ["ServiceInstance"]
+
+log = get_logger("core.service")
+
+
+class ServiceInstance:
+    """Data plane of one service: workers draining the request inbox."""
+
+    def __init__(self, session: "Session", uid: str, socket: ServerSocket,
+                 host: ServingHost,
+                 heartbeat_interval_s: float = 10.0) -> None:
+        self.session = session
+        self.uid = uid
+        self.socket = socket
+        self.host = host
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._rng = session.rng(f"service.{uid}")
+        self._workers: List[Process] = []
+        self._heartbeat: Optional[Process] = None
+        self._running = False
+        self._active_inferences = 0
+        # -- statistics --
+        self.requests_handled = 0
+        self.busy_time_s = 0.0
+        self.max_queue_seen = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the inbox right now."""
+        return self.socket.pending
+
+    def start(self) -> None:
+        """Spawn worker loops (one per concurrency slot) and heartbeats."""
+        if self._running:
+            raise RuntimeError(f"{self.uid} already started")
+        self._running = True
+        for _ in range(self.host.max_concurrency):
+            self._workers.append(
+                self.session.engine.process(self._worker()))
+        self._heartbeat = self.session.engine.process(self._beat())
+
+    def stop(self) -> None:
+        """Stop serving: idle workers are interrupted, busy ones finish."""
+        if not self._running:
+            return
+        self._running = False
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.interrupt("service stopping")
+        self._workers.clear()
+        if self._heartbeat is not None and self._heartbeat.is_alive:
+            self._heartbeat.interrupt("service stopping")
+        self._heartbeat = None
+        self.socket.close()
+
+    # -- heartbeats ------------------------------------------------------------------
+    def _beat(self):
+        engine = self.session.engine
+        try:
+            while self._running:
+                self.session.bus.publish(
+                    f"heartbeat.{self.uid}",
+                    {"uid": self.uid, "t": engine.now,
+                     "queue": self.queue_depth,
+                     "handled": self.requests_handled},
+                    sender=self.socket.address)
+                yield engine.timeout(self.heartbeat_interval_s)
+        except Interrupt:
+            return
+
+    # -- request handling -------------------------------------------------------------
+    def _worker(self):
+        engine = self.session.engine
+        try:
+            while self._running:
+                msg: Message = yield self.socket.recv()
+                self.max_queue_seen = max(self.max_queue_seen,
+                                          self.queue_depth + 1)
+                payload = msg.payload or {}
+                op = payload.get("op", "infer")
+                if op == "ping":
+                    self.socket.reply(msg, {"ok": True, "uid": self.uid},
+                                      meta=self._stamp(msg, engine.now,
+                                                       engine.now))
+                    continue
+                if op == "stop":
+                    self.socket.reply(msg, {"ok": True, "stopped": self.uid})
+                    # Stop all workers (including this one).
+                    self.stop()
+                    return
+                if op != "infer":
+                    self.socket.reply(
+                        msg, {"ok": False, "error": f"unknown op {op!r}"},
+                        meta=self._stamp(msg, engine.now, engine.now))
+                    continue
+                yield from self._handle_inference(msg)
+        except Interrupt:
+            return
+
+    def _handle_inference(self, msg: Message):
+        engine = self.session.engine
+        dequeued_at = engine.now
+        # Parse/deserialise the request.
+        parse_s = self.host.parse_time(msg.nbytes, self._rng)
+        if parse_s > 0:
+            yield engine.timeout(parse_s)
+        prompt = (msg.payload or {}).get("prompt", "")
+        params = (msg.payload or {}).get("params") or {}
+
+        infer_start_at = engine.now
+        self._active_inferences += 1
+        try:
+            result, duration = self.host.infer(
+                prompt, self._rng, params, n_active=self._active_inferences)
+            if duration > 0:
+                yield engine.timeout(duration)
+        finally:
+            self._active_inferences -= 1
+        infer_stop_at = engine.now
+
+        reply_payload = {
+            "ok": True,
+            "text": result.text,
+            "model": result.model,
+            "prompt_tokens": result.prompt_tokens,
+            "completion_tokens": result.completion_tokens,
+        }
+        serialize_s = self.host.serialize_time(
+            estimate_size(reply_payload), self._rng)
+        if serialize_s > 0:
+            yield engine.timeout(serialize_s)
+
+        self.requests_handled += 1
+        self.busy_time_s += engine.now - dequeued_at
+        self.socket.reply(
+            msg, reply_payload,
+            meta=self._stamp(msg, infer_start_at, infer_stop_at,
+                             dequeued_at=dequeued_at))
+
+    def _stamp(self, msg: Message, infer_start_at: float,
+               infer_stop_at: float,
+               dequeued_at: Optional[float] = None) -> Dict[str, Any]:
+        """Reply metadata carrying the RT-decomposition timestamps."""
+        now = self.session.engine.now
+        return {
+            "received_at": msg.received_at,
+            "dequeued_at": dequeued_at if dequeued_at is not None else now,
+            "infer_start_at": infer_start_at,
+            "infer_stop_at": infer_stop_at,
+            "replied_at": now,
+            "service_uid": self.uid,
+        }

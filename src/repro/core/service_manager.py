@@ -1,0 +1,371 @@
+"""ServiceManager: the control plane of the paper's runtime extension.
+
+Complementing the existing TaskManager (§III, Fig. 2), the ServiceManager
+turns :class:`~repro.pilot.description.ServiceDescription` objects into
+running, discoverable, monitored service instances:
+
+* **launch**  -- the service task is scheduled (with priority) on pilot
+  resources and its executable launched (Fig. 3 ``launch``);
+* **init**    -- the serving host loads and initialises the model
+  (Fig. 3 ``init``, the dominating component);
+* **publish** -- the endpoint is registered with the
+  :class:`~repro.core.registry.EndpointRegistry` (Fig. 3 ``publish``);
+* **ready**   -- the instance serves requests until stopped; liveness is
+  observable via heartbeats and the ``watch_liveness`` watchdog.
+
+Remote services (the paper's R3 scenario) attach to persistent endpoints:
+"Remote models are usually persistent on dedicated resources and do not
+need to be bootstrapped" (§IV-A) -- so ``start_remote`` registers them
+without charging (or recording) bootstrap phases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
+
+from ..comm.message import Address
+from ..pilot.description import ServiceDescription
+from ..pilot.states import SERVICE_MODEL, ServiceState, TaskState
+from ..pilot.task import Pilot, Task
+from ..serving.hosts import create_host
+from ..sim.events import Event, Interrupt, Process
+from ..utils.log import get_logger
+from .registry import EndpointRegistry, ServiceInfo
+from .service import ServiceInstance
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+
+__all__ = ["ServiceHandle", "ServiceManager"]
+
+log = get_logger("core.smgr")
+
+
+class ServiceHandle:
+    """User-facing handle of one managed service."""
+
+    def __init__(self, session: "Session", description: ServiceDescription,
+                 uid: str) -> None:
+        self.session = session
+        self.description = description
+        self.uid = uid
+        self.task = Task(session, description, uid)  # the Service Task (§III)
+        self.service_state = ServiceState.DEFINED
+        self.address: Optional[Address] = None
+        self.instance: Optional[ServiceInstance] = None
+        self.pilot_uid: Optional[str] = None
+        self.platform: Optional[str] = None
+        self.remote = False
+        #: succeeds with the handle once READY; fails if startup fails
+        self.ready: Event = session.engine.event()
+        #: succeeds with the final service state
+        self.stopped: Event = session.engine.event()
+        self._stop_requested: Event = session.engine.event()
+
+    def advance_service(self, state: str) -> None:
+        """Validated service-state transition with profiling."""
+        SERVICE_MODEL.check(self.service_state, state)
+        self.service_state = state
+        self.session.profiler.record(
+            self.session.engine.now, self.uid, f"svc:{state}", "smgr")
+
+    @property
+    def is_ready(self) -> bool:
+        return self.service_state == ServiceState.READY
+
+    def __repr__(self) -> str:
+        return f"<ServiceHandle {self.uid} {self.service_state}>"
+
+
+class ServiceManager:
+    """Manages service lifecycles within one session."""
+
+    def __init__(self, session: "Session",
+                 registry: Optional[EndpointRegistry] = None,
+                 registry_platform: str = "localhost") -> None:
+        self.session = session
+        self.uid = session.ids.generate("smgr")
+        self.registry = registry or EndpointRegistry(
+            session, platform=registry_platform)
+        self._reg_sock = session.bus.connect(
+            self.registry.platform, name=f"{self.uid}.regsock")
+        self._handles: Dict[str, ServiceHandle] = {}
+        self._drivers: Dict[str, Process] = {}
+        #: concurrent model loads per platform (drives init contention)
+        self._loading: Dict[str, int] = {}
+
+    # -- local (pilot-hosted) services ---------------------------------------------
+    def start_services(
+        self,
+        descriptions: Union[ServiceDescription, Iterable[ServiceDescription]],
+        pilot: Pilot,
+    ) -> List[ServiceHandle]:
+        """Bootstrap services on *pilot*'s resources; returns handles."""
+        if isinstance(descriptions, ServiceDescription):
+            descriptions = [descriptions]
+        handles: List[ServiceHandle] = []
+        for desc in descriptions:
+            handle = ServiceHandle(self.session, desc,
+                                   self.session.ids.generate("service"))
+            handle.pilot_uid = pilot.uid
+            self._handles[handle.uid] = handle
+            driver = self.session.engine.process(
+                self._drive_local(handle, pilot))
+            self._drivers[handle.uid] = driver
+            self.session.engine.process(
+                self._startup_watchdog(handle, driver))
+            handles.append(handle)
+        return handles
+
+    def _startup_watchdog(self, handle: ServiceHandle, driver: Process):
+        """Fail the bootstrap if it exceeds the description's timeout."""
+        engine = self.session.engine
+        timer = engine.timeout(handle.description.startup_timeout_s)
+        yield engine.any_of([handle.ready, timer])
+        if handle.ready.processed or handle.ready.triggered:
+            if not timer.processed:
+                timer.cancel()
+            return
+        if driver.is_alive:
+            log.warning("%s startup timed out after %.0fs", handle.uid,
+                        handle.description.startup_timeout_s)
+            driver.interrupt("startup timeout")
+
+    def _drive_local(self, handle: ServiceHandle, pilot: Pilot):
+        engine = self.session.engine
+        profiler = self.session.profiler
+        desc = handle.description
+        task = handle.task
+        scheduled = False
+        try:
+            if not pilot.is_active:
+                yield pilot.became_active
+            platform = pilot.platform
+            handle.platform = platform.name
+            profiler.record(engine.now, handle.uid, "bootstrap_start",
+                            self.uid)
+
+            # -- launch phase -----------------------------------------------------
+            handle.advance_service(ServiceState.LAUNCHING)
+            task.advance(TaskState.TMGR_SCHEDULING, self.uid)
+            task.advance(TaskState.AGENT_SCHEDULING, self.uid)
+            grant = pilot.agent.scheduler.schedule(task)
+            try:
+                yield grant
+            except Interrupt:
+                pilot.agent.scheduler.withdraw(task)
+                raise
+            scheduled = True
+            task.advance(TaskState.AGENT_EXECUTING, self.uid)
+            yield from pilot.agent.executor.launch(task)
+
+            # -- init phase -------------------------------------------------------
+            handle.advance_service(ServiceState.INITIALIZING)
+            profiler.record(engine.now, handle.uid, "init_start", self.uid)
+            host = create_host(desc.backend, desc.model,
+                               max_concurrency=desc.max_concurrency)
+            rng = self.session.rng(f"smgr.init.{handle.uid}")
+            self._loading[platform.name] = \
+                self._loading.get(platform.name, 0) + 1
+            try:
+                load_s = host.load_time(
+                    rng, concurrent_loads=self._loading[platform.name],
+                    fs_bandwidth_gbps=platform.fs_bandwidth_gbps,
+                    fs_aggregate_gbps=platform.fs_aggregate_gbps)
+                yield engine.timeout(load_s)
+            finally:
+                self._loading[platform.name] -= 1
+            profiler.record(engine.now, handle.uid, "init_stop", self.uid)
+
+            # -- publish phase ------------------------------------------------------
+            handle.advance_service(ServiceState.PUBLISHING)
+            profiler.record(engine.now, handle.uid, "publish_start", self.uid)
+            endpoint = desc.endpoint_name or f"{handle.uid}.ep"
+            socket = self.session.bus.bind(endpoint, platform=platform.name)
+            handle.address = socket.address
+            info = ServiceInfo(
+                uid=handle.uid, name=endpoint, address=socket.address,
+                model=desc.model, backend=desc.backend,
+                platform=platform.name)
+            yield self._reg_sock.request(self.registry.address,
+                                         {"op": "register", "info": info})
+            profiler.record(engine.now, handle.uid, "publish_stop", self.uid)
+
+            # -- ready ---------------------------------------------------------------
+            handle.instance = ServiceInstance(
+                self.session, handle.uid, socket, host,
+                heartbeat_interval_s=desc.heartbeat_interval_s)
+            handle.instance.start()
+            handle.advance_service(ServiceState.READY)
+            profiler.record(engine.now, handle.uid, "bootstrap_stop",
+                            self.uid)
+            handle.ready.succeed(handle)
+            log.info("%s ready at %s (t=%.1fs)", handle.uid, handle.address,
+                     engine.now)
+
+            # -- serve until stop requested ---------------------------------------------
+            yield handle._stop_requested
+            handle.advance_service(ServiceState.STOPPING)
+            handle.instance.stop()
+            yield self._reg_sock.request(self.registry.address,
+                                         {"op": "deregister",
+                                          "name": endpoint})
+            handle.advance_service(ServiceState.STOPPED)
+            task.finish(TaskState.DONE, self.uid)
+        except Interrupt as intr:
+            self._fail_handle(handle, RuntimeError(str(intr.cause)))
+        except Exception as exc:
+            self._fail_handle(handle, exc)
+        finally:
+            if scheduled and task.uid in pilot.agent.scheduler.held_tasks:
+                pilot.agent.scheduler.release(task)
+            if not handle.stopped.triggered:
+                handle.stopped.succeed(handle.service_state)
+
+    def _fail_handle(self, handle: ServiceHandle,
+                     exc: BaseException) -> None:
+        if handle.instance is not None and handle.instance.running:
+            handle.instance.stop()
+        if handle.service_state not in ServiceState.FINAL:
+            handle.service_state = ServiceState.FAILED
+            self.session.profiler.record(
+                self.session.engine.now, handle.uid,
+                f"svc:{ServiceState.FAILED}", self.uid)
+        if not handle.task.is_final:
+            handle.task.exception = exc
+            handle.task.finish(TaskState.FAILED, self.uid)
+        if not handle.ready.triggered:
+            handle.ready.fail(exc)
+            handle.ready.defuse()
+        log.info("%s failed: %s", handle.uid, exc)
+
+    # -- remote (persistent) services --------------------------------------------------
+    def start_remote(self, description: ServiceDescription,
+                     platform: str) -> ServiceHandle:
+        """Attach a persistent remote service (no bootstrap, no BT).
+
+        The endpoint is bound and registered immediately; the model is
+        assumed resident (paper §IV-A).
+        """
+        handle = ServiceHandle(self.session, description,
+                               self.session.ids.generate("service"))
+        handle.remote = True
+        handle.platform = platform
+        self._handles[handle.uid] = handle
+        self._drivers[handle.uid] = self.session.engine.process(
+            self._drive_remote(handle, platform))
+        return handle
+
+    def _drive_remote(self, handle: ServiceHandle, platform: str):
+        desc = handle.description
+        try:
+            handle.advance_service(ServiceState.LAUNCHING)
+            handle.advance_service(ServiceState.INITIALIZING)
+            handle.advance_service(ServiceState.PUBLISHING)
+            endpoint = desc.endpoint_name or f"{handle.uid}.ep"
+            socket = self.session.bus.bind(endpoint, platform=platform)
+            handle.address = socket.address
+            host = create_host(desc.backend, desc.model,
+                               max_concurrency=desc.max_concurrency)
+            info = ServiceInfo(
+                uid=handle.uid, name=endpoint, address=socket.address,
+                model=desc.model, backend=desc.backend, platform=platform,
+                meta={"remote": True})
+            yield self._reg_sock.request(self.registry.address,
+                                         {"op": "register", "info": info})
+            handle.instance = ServiceInstance(
+                self.session, handle.uid, socket, host,
+                heartbeat_interval_s=desc.heartbeat_interval_s)
+            handle.instance.start()
+            handle.advance_service(ServiceState.READY)
+            handle.ready.succeed(handle)
+
+            yield handle._stop_requested
+            handle.advance_service(ServiceState.STOPPING)
+            handle.instance.stop()
+            yield self._reg_sock.request(self.registry.address,
+                                         {"op": "deregister",
+                                          "name": endpoint})
+            handle.advance_service(ServiceState.STOPPED)
+        except Interrupt as intr:
+            self._fail_handle(handle, RuntimeError(str(intr.cause)))
+        except Exception as exc:
+            self._fail_handle(handle, exc)
+        finally:
+            if not handle.stopped.triggered:
+                handle.stopped.succeed(handle.service_state)
+
+    # -- control ---------------------------------------------------------------------------
+    def stop_services(
+        self, handles: Union[ServiceHandle, Iterable[ServiceHandle]],
+    ) -> None:
+        """Request orderly shutdown of the given services."""
+        if isinstance(handles, ServiceHandle):
+            handles = [handles]
+        for handle in handles:
+            if handle.service_state in ServiceState.FINAL:
+                continue
+            if not handle._stop_requested.triggered:
+                handle._stop_requested.succeed("stop")
+
+    def wait_ready(
+        self, handles: Union[ServiceHandle, Iterable[ServiceHandle]],
+    ) -> Event:
+        """Event succeeding when all given services are READY."""
+        if isinstance(handles, ServiceHandle):
+            handles = [handles]
+        return self.session.engine.all_of([h.ready for h in handles])
+
+    def wait_stopped(
+        self, handles: Union[ServiceHandle, Iterable[ServiceHandle]],
+    ) -> Event:
+        if isinstance(handles, ServiceHandle):
+            handles = [handles]
+        return self.session.engine.all_of([h.stopped for h in handles])
+
+    # -- liveness ------------------------------------------------------------------------
+    def watch_liveness(self, handle: ServiceHandle,
+                       misses: int = 3) -> Process:
+        """Spawn a watchdog failing the service after missed heartbeats."""
+        return self.session.engine.process(
+            self._liveness_loop(handle, misses))
+
+    def _liveness_loop(self, handle: ServiceHandle, misses: int):
+        engine = self.session.engine
+        interval = handle.description.heartbeat_interval_s
+        sub = self.session.bus.subscribe(f"heartbeat.{handle.uid}",
+                                         platform=self.registry.platform)
+        get_ev = sub.get()
+        try:
+            while True:
+                if handle.service_state in (ServiceState.STOPPING,
+                                            *ServiceState.FINAL):
+                    return
+                timer = engine.timeout(misses * interval)
+                yield engine.any_of([get_ev, timer])
+                if get_ev.processed:
+                    if not timer.processed:
+                        timer.cancel()
+                    get_ev = sub.get()
+                    continue
+                # No heartbeat within the deadline.
+                if handle.service_state == ServiceState.READY:
+                    log.warning("%s missed %d heartbeats; marking FAILED",
+                                handle.uid, misses)
+                    driver = self._drivers.get(handle.uid)
+                    if driver is not None and driver.is_alive:
+                        driver.interrupt("liveness failure")
+                return
+        finally:
+            sub.cancel()
+
+    # -- introspection -------------------------------------------------------------------
+    def get(self, uid: str) -> ServiceHandle:
+        return self._handles[uid]
+
+    @property
+    def services(self) -> List[ServiceHandle]:
+        return list(self._handles.values())
+
+    def ready_services(self) -> List[ServiceHandle]:
+        return [h for h in self._handles.values() if h.is_ready]

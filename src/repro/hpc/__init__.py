@@ -1,0 +1,57 @@
+"""HPC platform substrate: topology, batch allocation, launchers, network.
+
+Models the machines the paper evaluates on (OLCF Frontier, NCSA Delta, the
+R3 cloud server) at the level of detail the experiments exercise: node
+topology, batch queueing, launch-method cost (including the MPI concurrency
+knee of Fig. 3) and network latency distributions (§IV-C).
+"""
+
+from .platform import (
+    DELTA,
+    FRONTIER,
+    LOCALHOST,
+    PLATFORMS,
+    R3,
+    LatencySpec,
+    PlatformSpec,
+    get_platform,
+    register_platform,
+)
+from .node import NodeList, NodeState, Slot
+from .batch import BatchJob, BatchSystem, JobState
+from .launcher import (
+    LAUNCHERS,
+    ForkLauncher,
+    LaunchMethod,
+    MpiexecLauncher,
+    SshLauncher,
+    get_launcher,
+)
+from .network import DEFAULT_WAN_LATENCY, Fabric, Route
+
+__all__ = [
+    "DELTA",
+    "FRONTIER",
+    "LOCALHOST",
+    "PLATFORMS",
+    "R3",
+    "LatencySpec",
+    "PlatformSpec",
+    "get_platform",
+    "register_platform",
+    "NodeList",
+    "NodeState",
+    "Slot",
+    "BatchJob",
+    "BatchSystem",
+    "JobState",
+    "LAUNCHERS",
+    "ForkLauncher",
+    "LaunchMethod",
+    "MpiexecLauncher",
+    "SshLauncher",
+    "get_launcher",
+    "DEFAULT_WAN_LATENCY",
+    "Fabric",
+    "Route",
+]

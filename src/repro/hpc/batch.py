@@ -1,0 +1,185 @@
+"""Slurm-like batch system: node allocation for pilot jobs.
+
+Pilots (:mod:`repro.pilot`) acquire resources by submitting *batch jobs*
+that request whole nodes for a walltime.  This module models the machine's
+batch scheduler: a FIFO queue with optional backfill, per-job queue-wait
+noise, walltime enforcement and early release.
+
+The model is deliberately simple -- the paper's experiments run inside a
+single pilot allocation, so what matters is that (a) allocation consumes the
+platform's finite nodes, (b) pilots see a realistic queue wait, and
+(c) walltimes are enforced.  Backfill is the non-reserving "EASY-lite"
+variant: when the queue head does not fit, any later job that fits the
+current free set may start.  This can delay the head (no reservation); the
+simplification is documented and tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Set
+
+from ..sim.engine import SimulationEngine
+from ..sim.events import Event, Interrupt
+from ..utils.ids import generate_id
+from .platform import PlatformSpec
+
+__all__ = ["JobState", "BatchJob", "BatchSystem"]
+
+
+class JobState:
+    """Lifecycle states for a batch job."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    TIMEOUT = "TIMEOUT"
+    CANCELLED = "CANCELLED"
+
+    FINAL = (COMPLETED, TIMEOUT, CANCELLED)
+
+
+class BatchJob:
+    """One node-level allocation request and its lifecycle."""
+
+    def __init__(self, engine: SimulationEngine, n_nodes: int,
+                 walltime_s: float, priority: int = 0) -> None:
+        self.uid = generate_id("job")
+        self.n_nodes = n_nodes
+        self.walltime_s = walltime_s
+        self.priority = priority
+        self.state = JobState.PENDING
+        self.node_indices: List[int] = []
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: triggers with the node index list when the allocation begins
+        self.started: Event = engine.event()
+        #: triggers with the final state string when the job ends
+        self.finished: Event = engine.event()
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in JobState.FINAL
+
+    def __repr__(self) -> str:
+        return (f"<BatchJob {self.uid} {self.state} nodes={self.n_nodes} "
+                f"wall={self.walltime_s}s>")
+
+
+class BatchSystem:
+    """The platform's batch scheduler (one per platform instance)."""
+
+    def __init__(self, engine: SimulationEngine, spec: PlatformSpec, rng,
+                 backfill: bool = True) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.rng = rng
+        self.backfill = backfill
+        self._free: Set[int] = set(range(spec.nodes))
+        self._queue: List[BatchJob] = []
+        self._running: dict = {}  # job -> walltime watchdog Process
+        self._seq = itertools.count()
+
+    # -- public API --------------------------------------------------------------
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._queue)
+
+    def submit(self, n_nodes: int, walltime_s: float,
+               priority: int = 0) -> BatchJob:
+        """Enqueue an allocation request; returns the job handle."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if n_nodes > self.spec.nodes:
+            raise ValueError(
+                f"requested {n_nodes} nodes but {self.spec.name} has only "
+                f"{self.spec.nodes}")
+        if walltime_s <= 0:
+            raise ValueError("walltime must be positive")
+        job = BatchJob(self.engine, n_nodes, walltime_s, priority)
+        job.submitted_at = self.engine.now
+        self._queue.append(job)
+        self._schedule_pass()
+        return job
+
+    def complete(self, job: BatchJob) -> None:
+        """Release a running job's nodes before its walltime expires."""
+        if job.state != JobState.RUNNING:
+            raise RuntimeError(f"cannot complete job in state {job.state}")
+        self._finish(job, JobState.COMPLETED)
+
+    def cancel(self, job: BatchJob) -> None:
+        """Cancel a pending or running job."""
+        if job.state == JobState.PENDING:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.finished_at = self.engine.now
+            job.finished.succeed(JobState.CANCELLED)
+        elif job.state == JobState.RUNNING:
+            self._finish(job, JobState.CANCELLED)
+        elif job.is_final:
+            pass  # idempotent
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"cannot cancel job in state {job.state}")
+
+    # -- scheduling --------------------------------------------------------------
+    def _schedule_pass(self) -> None:
+        """Start every job allowed to run under FIFO(+backfill) right now."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for pos, job in enumerate(list(self._queue)):
+                if pos > 0 and not self.backfill:
+                    break
+                if job.n_nodes <= len(self._free):
+                    self._queue.remove(job)
+                    self._start(job)
+                    progressed = True
+                    break
+                if pos == 0 and not self.backfill:
+                    break
+
+    def _start(self, job: BatchJob) -> None:
+        # Sample a queue-resident delay (system noise) before nodes hand over.
+        delay = 0.0
+        if self.spec.queue_wait_scale_s > 0:
+            delay = float(self.rng.exponential(self.spec.queue_wait_scale_s))
+        nodes = sorted(self._free)[:job.n_nodes]
+        self._free.difference_update(nodes)
+        job.node_indices = nodes
+
+        def bring_up():
+            if delay:
+                yield self.engine.timeout(delay)
+            job.state = JobState.RUNNING
+            job.started_at = self.engine.now
+            job.started.succeed(list(nodes))
+            timer = self.engine.timeout(job.walltime_s)
+            job._wall_timer = timer
+            try:
+                yield timer
+            except Interrupt:
+                return  # completed/cancelled early; _finish already ran
+            if job.state == JobState.RUNNING:
+                self._finish(job, JobState.TIMEOUT, interrupt_watchdog=False)
+
+        self._running[job] = self.engine.process(bring_up())
+
+    def _finish(self, job: BatchJob, final_state: str,
+                interrupt_watchdog: bool = True) -> None:
+        job.state = final_state
+        job.finished_at = self.engine.now
+        self._free.update(job.node_indices)
+        watchdog = self._running.pop(job, None)
+        timer = getattr(job, "_wall_timer", None)
+        if timer is not None and not timer.processed:
+            timer.cancel()  # keep the event heap (and the clock) clean
+        if watchdog is not None and interrupt_watchdog:
+            watchdog.interrupt("job finished")
+        job.finished.succeed(final_state)
+        self._schedule_pass()

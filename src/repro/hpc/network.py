@@ -1,0 +1,105 @@
+"""Network fabric: latency and bandwidth between and within platforms.
+
+The service client/server exchanges of the paper are dominated by network
+latency for NOOP inference (§IV-C) -- local inter-node latency is measured
+at 0.063 +/- 0.014 ms, remote (Delta <-> R3) node-to-node latency at
+0.47 +/- 0.04 ms.  The :class:`Fabric` reproduces exactly these one-way
+delay distributions and adds a bandwidth term for bulk data staging
+(Globus-style transfers in the Cell Painting pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .platform import LatencySpec, PlatformSpec
+
+__all__ = ["Route", "Fabric", "DEFAULT_WAN_LATENCY", "DEFAULT_WAN_BANDWIDTH_GBPS"]
+
+#: Paper §IV-C: node-to-node latency between Delta and R3.
+DEFAULT_WAN_LATENCY = LatencySpec(mean_ms=0.47, std_ms=0.04)
+#: Sustained wide-area transfer bandwidth (Globus-managed, GB/s).
+DEFAULT_WAN_BANDWIDTH_GBPS = 1.0
+
+
+@dataclass(frozen=True)
+class Route:
+    """Latency/bandwidth between two endpoints (platform pair)."""
+
+    latency: LatencySpec
+    bandwidth_gbps: float = DEFAULT_WAN_BANDWIDTH_GBPS
+
+    def transfer_time(self, nbytes: float, rng) -> float:
+        """Seconds to move *nbytes*: one-way latency + serialisation time."""
+        lat = float(self.latency.sample(rng))
+        return lat + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+class Fabric:
+    """Pairwise communication model over a set of platforms.
+
+    Routes are symmetric.  Intra-platform routes default to the platform's
+    own ``intra_latency``; inter-platform routes default to the paper's WAN
+    numbers and can be overridden per pair.
+    """
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+        self._platforms: Dict[str, PlatformSpec] = {}
+        self._routes: Dict[Tuple[str, str], Route] = {}
+
+    # -- topology --------------------------------------------------------------
+    def add_platform(self, spec: PlatformSpec,
+                     local_bandwidth_gbps: float = 25.0) -> None:
+        """Register a platform; creates its intra-platform route."""
+        self._platforms[spec.name] = spec
+        self._routes[(spec.name, spec.name)] = Route(
+            latency=spec.intra_latency, bandwidth_gbps=local_bandwidth_gbps)
+
+    def set_route(self, a: str, b: str, latency: LatencySpec,
+                  bandwidth_gbps: float = DEFAULT_WAN_BANDWIDTH_GBPS) -> None:
+        """Define/override the route between platforms *a* and *b*."""
+        route = Route(latency=latency, bandwidth_gbps=bandwidth_gbps)
+        self._routes[self._key(a, b)] = route
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def route(self, a: str, b: str) -> Route:
+        """Resolve the route between two platforms (WAN default if unset)."""
+        if a == b:
+            try:
+                return self._routes[(a, a)]
+            except KeyError:
+                raise KeyError(f"platform {a!r} not registered") from None
+        known = self._routes.get(self._key(a, b))
+        if known is not None:
+            return known
+        if a not in self._platforms or b not in self._platforms:
+            missing = [p for p in (a, b) if p not in self._platforms]
+            raise KeyError(f"platform(s) not registered: {missing}")
+        # Materialise (and cache) the WAN default so repeat lookups are
+        # stable object identities.
+        route = Route(latency=DEFAULT_WAN_LATENCY,
+                      bandwidth_gbps=DEFAULT_WAN_BANDWIDTH_GBPS)
+        self._routes[self._key(a, b)] = route
+        return route
+
+    # -- sampling ----------------------------------------------------------------
+    def latency(self, a: str, b: str) -> float:
+        """Sample a one-way message latency (seconds) between *a* and *b*."""
+        return float(self.route(a, b).latency.sample(self._rng))
+
+    def transfer_time(self, a: str, b: str, nbytes: float) -> float:
+        """Seconds to move *nbytes* of payload between *a* and *b*."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.route(a, b).transfer_time(nbytes, self._rng)
+
+    def is_local(self, a: str, b: str) -> bool:
+        return a == b
+
+    def platforms(self):
+        return dict(self._platforms)

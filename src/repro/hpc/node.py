@@ -1,0 +1,155 @@
+"""Per-node resource accounting: core/GPU/memory slot management.
+
+A :class:`NodeState` tracks which core and GPU indices are free on one node
+of an allocation.  The agent scheduler (:mod:`repro.pilot.agent.scheduler`)
+carves :class:`Slot` objects out of nodes and returns them on task
+completion.  Invariant maintained throughout: a core/GPU index is held by at
+most one live slot (verified by property-based tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Slot", "NodeState", "NodeList"]
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A placement of one task/service rank on a node.
+
+    ``cores`` and ``gpus`` hold the specific indices assigned, ``mem_gb``
+    the reserved memory.  Slots are immutable; releasing goes through the
+    owning :class:`NodeState`.
+    """
+
+    node_index: int
+    node_name: str
+    cores: Tuple[int, ...]
+    gpus: Tuple[int, ...] = ()
+    mem_gb: float = 0.0
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+
+class NodeState:
+    """Mutable free/busy accounting for one node."""
+
+    def __init__(self, index: int, name: str, cores: int, gpus: int,
+                 mem_gb: float) -> None:
+        self.index = index
+        self.name = name
+        self.num_cores = cores
+        self.num_gpus = gpus
+        self.mem_gb = mem_gb
+        self._free_cores: List[int] = list(range(cores))
+        self._free_gpus: List[int] = list(range(gpus))
+        self._free_mem = float(mem_gb)
+
+    # -- capacity queries ------------------------------------------------------
+    @property
+    def free_cores(self) -> int:
+        return len(self._free_cores)
+
+    @property
+    def free_gpus(self) -> int:
+        return len(self._free_gpus)
+
+    @property
+    def free_mem_gb(self) -> float:
+        return self._free_mem
+
+    def fits(self, cores: int, gpus: int = 0, mem_gb: float = 0.0) -> bool:
+        """Can this node currently host the requested slot?"""
+        return (len(self._free_cores) >= cores
+                and len(self._free_gpus) >= gpus
+                and self._free_mem >= mem_gb - 1e-9)
+
+    # -- allocation ------------------------------------------------------------
+    def allocate(self, cores: int, gpus: int = 0,
+                 mem_gb: float = 0.0) -> Slot:
+        """Carve a slot; raises RuntimeError if it does not fit."""
+        if cores < 0 or gpus < 0 or mem_gb < 0:
+            raise ValueError("resource amounts must be non-negative")
+        if not self.fits(cores, gpus, mem_gb):
+            raise RuntimeError(
+                f"node {self.name}: cannot allocate {cores}c/{gpus}g/"
+                f"{mem_gb}GB (free: {self.free_cores}c/{self.free_gpus}g/"
+                f"{self._free_mem}GB)")
+        core_ids = tuple(self._free_cores[:cores])
+        del self._free_cores[:cores]
+        gpu_ids = tuple(self._free_gpus[:gpus])
+        del self._free_gpus[:gpus]
+        self._free_mem -= mem_gb
+        return Slot(self.index, self.name, core_ids, gpu_ids, mem_gb)
+
+    def release(self, slot: Slot) -> None:
+        """Return a slot's resources; raises on double-release."""
+        if slot.node_index != self.index:
+            raise RuntimeError(
+                f"slot for node {slot.node_index} released on node {self.index}")
+        overlap_c = set(slot.cores) & set(self._free_cores)
+        overlap_g = set(slot.gpus) & set(self._free_gpus)
+        if overlap_c or overlap_g:
+            raise RuntimeError(
+                f"double release on node {self.name}: cores {overlap_c}, "
+                f"gpus {overlap_g} already free")
+        self._free_cores.extend(slot.cores)
+        self._free_cores.sort()
+        self._free_gpus.extend(slot.gpus)
+        self._free_gpus.sort()
+        self._free_mem = min(self.mem_gb, self._free_mem + slot.mem_gb)
+
+    def __repr__(self) -> str:
+        return (f"<NodeState {self.name} free={self.free_cores}c/"
+                f"{self.free_gpus}g/{self._free_mem:.0f}GB>")
+
+
+class NodeList:
+    """An ordered collection of :class:`NodeState` with search helpers."""
+
+    def __init__(self, nodes: List[NodeState]) -> None:
+        self.nodes = list(nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, idx: int) -> NodeState:
+        return self.nodes[idx]
+
+    @classmethod
+    def build(cls, count: int, cores: int, gpus: int, mem_gb: float,
+              name_prefix: str = "node") -> "NodeList":
+        """Construct *count* identical nodes."""
+        return cls([
+            NodeState(i, f"{name_prefix}{i:05d}", cores, gpus, mem_gb)
+            for i in range(count)
+        ])
+
+    def find_fit(self, cores: int, gpus: int = 0, mem_gb: float = 0.0,
+                 start: int = 0) -> Optional[NodeState]:
+        """First-fit search starting at index *start* (wraps around)."""
+        n = len(self.nodes)
+        for off in range(n):
+            node = self.nodes[(start + off) % n]
+            if node.fits(cores, gpus, mem_gb):
+                return node
+        return None
+
+    @property
+    def total_free_cores(self) -> int:
+        return sum(n.free_cores for n in self.nodes)
+
+    @property
+    def total_free_gpus(self) -> int:
+        return sum(n.free_gpus for n in self.nodes)

@@ -1,0 +1,50 @@
+"""The pilot runtime: the RADICAL-Pilot-like substrate the paper extends.
+
+Sessions own the engine and platform fabric; PilotManagers acquire
+allocations and bring up agents; TaskManagers drive task lifecycles through
+staging, agent scheduling and execution.  The service layer
+(:mod:`repro.core`) builds on these pieces exactly as the paper extends
+RADICAL-Pilot (§III, Fig. 2).
+"""
+
+from .description import (
+    PilotDescription,
+    ServiceDescription,
+    StagingDirective,
+    TaskDescription,
+)
+from .states import (
+    PilotState,
+    ServiceState,
+    StateError,
+    TaskState,
+)
+from .task import Pilot, Task
+from .session import Session
+from .profiler import Profiler
+from .data_manager import DataManager
+from .pilot_manager import PilotManager
+from .task_manager import TaskManager
+from .agent import Agent, AgentExecutor, AgentScheduler, SchedulerError
+
+__all__ = [
+    "PilotDescription",
+    "ServiceDescription",
+    "StagingDirective",
+    "TaskDescription",
+    "PilotState",
+    "ServiceState",
+    "StateError",
+    "TaskState",
+    "Pilot",
+    "Task",
+    "Session",
+    "Profiler",
+    "DataManager",
+    "PilotManager",
+    "TaskManager",
+    "Agent",
+    "AgentExecutor",
+    "AgentScheduler",
+    "SchedulerError",
+]

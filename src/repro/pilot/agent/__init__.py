@@ -1,0 +1,57 @@
+"""The pilot agent: scheduler + executor running inside an allocation.
+
+The agent is the pilot-side runtime (cf. RADICAL-Pilot's agent): it owns the
+allocation's nodes, places work via :class:`AgentScheduler`, runs it via
+:class:`AgentExecutor`, and guarantees slot release on every exit path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ...hpc.node import NodeList, Slot
+from ...sim.events import Event, Interrupt
+from .executor import AgentExecutor, ExecutionError
+from .scheduler import AgentScheduler, SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import Session
+    from ..task import Task
+
+__all__ = ["Agent", "AgentScheduler", "AgentExecutor", "SchedulerError",
+           "ExecutionError"]
+
+
+class Agent:
+    """Per-pilot runtime combining scheduling and execution."""
+
+    def __init__(self, session: "Session", pilot_uid: str, nodes: NodeList,
+                 launch_method: str, platform_name: str) -> None:
+        self.session = session
+        self.pilot_uid = pilot_uid
+        self.platform_name = platform_name
+        self.scheduler = AgentScheduler(session, nodes, pilot_uid)
+        self.executor = AgentExecutor(session, pilot_uid, launch_method)
+
+    def run_task(self, task: "Task"):
+        """Simulation process body: schedule -> execute -> release.
+
+        Returns the task result.  On cancellation/failure the exception
+        propagates to the caller *after* slots are released and queue
+        entries withdrawn.
+        """
+        from ..states import TaskState  # local import avoids cycle
+
+        task.advance(TaskState.AGENT_SCHEDULING, self.pilot_uid)
+        grant = self.scheduler.schedule(task)
+        try:
+            slots = yield grant
+        except Interrupt:
+            self.scheduler.withdraw(task)
+            raise
+        task.advance(TaskState.AGENT_EXECUTING, self.pilot_uid)
+        try:
+            result = yield from self.executor.execute(task, slots)
+        finally:
+            self.scheduler.release(task)
+        return result

@@ -1,0 +1,167 @@
+"""Agent-side executor: launches and runs placed tasks.
+
+Two payload kinds (matching :class:`repro.pilot.description.TaskDescription`):
+
+* **executable tasks** -- cost-modelled: the executor charges the launch
+  method's cost (including the MPI concurrency knee), ``pre_exec_s``, then
+  ``duration_s`` (+jitter).
+* **function tasks** -- *really executed*.  In virtual mode the callable runs
+  inline and the clock advances by ``duration_s`` if given, else by the
+  measured wall time.  In realtime mode the callable runs on the session's
+  worker pool and completion is injected back into the engine.
+
+The concurrent-launch counter feeds the launcher cost model: Experiment 1's
+launch component grows past ~160 *simultaneous* launches (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import TYPE_CHECKING, List, Optional
+
+from ...hpc.launcher import LaunchMethod, get_launcher
+from ...hpc.node import Slot
+from ...sim.engine import RealtimeEngine
+from ...sim.events import Interrupt
+from ...utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import Session
+    from ..task import Task
+
+__all__ = ["AgentExecutor", "ExecutionError"]
+
+log = get_logger("pilot.agent.executor")
+
+
+class ExecutionError(Exception):
+    """Raised for malformed execution requests."""
+
+
+class AgentExecutor:
+    """Runs tasks on a pilot's resources."""
+
+    def __init__(self, session: "Session", pilot_uid: str,
+                 launch_method: str) -> None:
+        self.session = session
+        self.pilot_uid = pilot_uid
+        self.launcher: LaunchMethod = get_launcher(launch_method)
+        self._rng = session.rng(f"executor.{pilot_uid}")
+        self._launching = 0
+        self._executing = 0
+
+    @property
+    def concurrent_launches(self) -> int:
+        return self._launching
+
+    @property
+    def executing_count(self) -> int:
+        return self._executing
+
+    # -- cost components ----------------------------------------------------------
+    def launch_cost(self) -> float:
+        """Sample this launch's cost at the current launch concurrency."""
+        return self.launcher.launch_time(max(1, self._launching), self._rng)
+
+    def _duration(self, task: "Task") -> float:
+        d = task.description
+        duration = float(d.duration_s)
+        if d.duration_jitter_s > 0:
+            duration += float(abs(self._rng.normal(0.0, d.duration_jitter_s)))
+        return duration
+
+    # -- execution ------------------------------------------------------------------
+    def launch(self, task: "Task"):
+        """Simulation (sub)process: charge the launch phase only.
+
+        Split out so the service runtime can interleave its own phases
+        (init/publish) after launch.  Yields; returns the charged cost.
+        """
+        profiler = self.session.profiler
+        engine = self.session.engine
+        self._launching += 1
+        profiler.record(engine.now, task.uid, "launch_start", self.pilot_uid)
+        try:
+            cost = self.launch_cost()
+            yield engine.timeout(cost)
+        finally:
+            self._launching -= 1
+        profiler.record(engine.now, task.uid, "launch_stop", self.pilot_uid)
+        return cost
+
+    def execute(self, task: "Task", slots: List[Slot]):
+        """Simulation process body: launch + run the task payload.
+
+        The task must already hold *slots*.  Raises the task's exception on
+        failure; cancellation arrives as :class:`Interrupt` and is re-raised
+        to the driving process after cleanup.
+        """
+        if not slots:
+            raise ExecutionError(f"{task.uid}: executing without slots")
+        d = task.description
+        engine = self.session.engine
+        profiler = self.session.profiler
+
+        yield from self.launch(task)
+
+        if d.pre_exec_s > 0:
+            yield engine.timeout(d.pre_exec_s)
+
+        profiler.record(engine.now, task.uid, "exec_start", self.pilot_uid)
+        self._executing += 1
+        started = engine.now
+        try:
+            if d.function is not None:
+                task.result = yield from self._run_function(task)
+            else:
+                duration = self._duration(task)
+                if duration > 0:
+                    yield engine.timeout(duration)
+                task.result = None
+            task.exit_code = 0
+        except Interrupt:
+            task.exit_code = None
+            profiler.record(engine.now, task.uid, "exec_cancel",
+                            self.pilot_uid)
+            raise
+        except Exception as exc:
+            task.exception = exc
+            task.exit_code = 1
+            profiler.record(engine.now, task.uid, "exec_fail", self.pilot_uid)
+            raise
+        finally:
+            self._executing -= 1
+            task.runtime_s = engine.now - started
+        profiler.record(engine.now, task.uid, "exec_stop", self.pilot_uid)
+        return task.result
+
+    # -- function payloads ------------------------------------------------------------
+    def _run_function(self, task: "Task"):
+        d = task.description
+        engine = self.session.engine
+        if isinstance(engine, RealtimeEngine):
+            # Run on the worker pool; inject completion into the engine.
+            done = engine.event()
+            future = self.session.worker_pool.submit(
+                d.function, *d.fn_args, **dict(d.fn_kwargs))
+
+            def _notify(fut):
+                exc = fut.exception()
+                if exc is not None:
+                    engine.call_soon_threadsafe(done.fail, exc)
+                else:
+                    engine.call_soon_threadsafe(done.succeed, fut.result())
+
+            future.add_done_callback(_notify)
+            result = yield done
+            return result
+
+        # Virtual time: run inline, charge modeled (or measured) duration.
+        wall0 = _time.perf_counter()
+        result = d.function(*d.fn_args, **dict(d.fn_kwargs))
+        measured = _time.perf_counter() - wall0
+        duration = self._duration(task)
+        charge = duration if d.duration_s > 0 else measured
+        if charge > 0:
+            yield engine.timeout(charge)
+        return result

@@ -1,0 +1,161 @@
+"""Agent-side scheduler: places task ranks onto the pilot's nodes.
+
+Reproduces RADICAL-Pilot's *continuous* scheduler semantics with the
+extension the paper adds (§III: "We extended the existing Scheduler to enact
+priority relations between services and tasks"):
+
+* requests are served in (priority desc, arrival asc) order;
+* any queued request that fits may start (no strict FIFO head-blocking,
+  matching RP's behaviour for independent tasks);
+* a multi-rank request is placed atomically -- all ranks get slots or the
+  request stays queued;
+* ``tags={"colocate": <group>}`` pins all members of a group to the node
+  chosen for the group's first member.
+
+Invariant (property-tested): no core/GPU index is ever double-booked.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ...hpc.node import NodeList, NodeState, Slot
+from ...sim.events import Event
+from ...utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import Session
+    from ..task import Task
+
+__all__ = ["AgentScheduler", "SchedulerError"]
+
+log = get_logger("pilot.agent.scheduler")
+
+
+class SchedulerError(Exception):
+    """Raised for requests that can never be satisfied."""
+
+
+class AgentScheduler:
+    """Slot allocator over one pilot's node list."""
+
+    def __init__(self, session: "Session", nodes: NodeList,
+                 pilot_uid: str) -> None:
+        self.session = session
+        self.nodes = nodes
+        self.pilot_uid = pilot_uid
+        self._pending: List[Tuple[int, int, "Task", Event]] = []
+        self._seq = itertools.count()
+        self._held: Dict[str, List[Slot]] = {}
+        self._colocate_node: Dict[str, int] = {}
+        self._rr_index = 0  # round-robin start node for spreading load
+
+    # -- validation ----------------------------------------------------------
+    def _feasible(self, task: "Task") -> bool:
+        """Could the request ever fit on an *empty* pilot?"""
+        d = task.description
+        per_node_ok = any(
+            node.num_cores >= d.cores_per_rank
+            and node.num_gpus >= d.gpus_per_rank
+            and node.mem_gb >= d.mem_per_rank_gb
+            for node in self.nodes)
+        if not per_node_ok:
+            return False
+        total_cores = sum(n.num_cores for n in self.nodes)
+        total_gpus = sum(n.num_gpus for n in self.nodes)
+        return task.n_cores <= total_cores and task.n_gpus <= total_gpus
+
+    # -- public API ------------------------------------------------------------
+    def schedule(self, task: "Task") -> Event:
+        """Request slots for *task*; event succeeds with ``List[Slot]``."""
+        event = self.session.engine.event()
+        if task.uid in self._held:
+            event.fail(SchedulerError(f"{task.uid} already holds slots"))
+            return event
+        if not self._feasible(task):
+            event.fail(SchedulerError(
+                f"{task.uid} can never fit on pilot {self.pilot_uid}: "
+                f"needs {task.n_cores}c/{task.n_gpus}g"))
+            return event
+        self._pending.append(
+            (-task.description.priority, next(self._seq), task, event))
+        self._pending.sort(key=lambda entry: entry[:2])
+        self._try_schedule()
+        return event
+
+    def release(self, task: "Task") -> None:
+        """Return a task's slots and re-run placement for waiters."""
+        slots = self._held.pop(task.uid, None)
+        if slots is None:
+            raise SchedulerError(f"{task.uid} holds no slots")
+        for slot in slots:
+            self.nodes[slot.node_index].release(slot)
+        task.slots = []
+        self._try_schedule()
+
+    def withdraw(self, task: "Task") -> bool:
+        """Remove a queued (not yet granted) request.  True if found."""
+        for entry in self._pending:
+            if entry[2] is task:
+                self._pending.remove(entry)
+                return True
+        return False
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    @property
+    def held_tasks(self) -> List[str]:
+        return list(self._held)
+
+    # -- placement ---------------------------------------------------------------
+    def _place(self, task: "Task") -> Optional[List[Slot]]:
+        """Try to place all ranks; returns slots or None (state rolled back)."""
+        d = task.description
+        slots: List[Slot] = []
+        group = d.tags.get("colocate") if d.tags else None
+        pinned: Optional[int] = self._colocate_node.get(group) \
+            if group else None
+        for _rank in range(d.ranks):
+            node: Optional[NodeState]
+            if pinned is not None:
+                node = self.nodes[pinned]
+                if not node.fits(d.cores_per_rank, d.gpus_per_rank,
+                                 d.mem_per_rank_gb):
+                    node = None
+            else:
+                node = self.nodes.find_fit(
+                    d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                    start=self._rr_index)
+            if node is None:
+                for slot in slots:  # rollback partial placement
+                    self.nodes[slot.node_index].release(slot)
+                return None
+            slots.append(node.allocate(d.cores_per_rank, d.gpus_per_rank,
+                                       d.mem_per_rank_gb))
+        if group and group not in self._colocate_node:
+            self._colocate_node[group] = slots[0].node_index
+        self._rr_index = (slots[-1].node_index + 1) % len(self.nodes)
+        return slots
+
+    def _try_schedule(self) -> None:
+        """Grant every queued request that currently fits (priority order)."""
+        granted = True
+        while granted:
+            granted = False
+            for entry in list(self._pending):
+                _negprio, _seq, task, event = entry
+                slots = self._place(task)
+                if slots is None:
+                    continue
+                self._pending.remove(entry)
+                self._held[task.uid] = slots
+                task.slots = slots
+                self.session.profiler.record(
+                    self.session.engine.now, task.uid, "schedule_ok",
+                    self.pilot_uid)
+                event.succeed(slots)
+                granted = True
+                break

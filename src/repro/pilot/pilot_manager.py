@@ -1,0 +1,138 @@
+"""PilotManager: acquires allocations and brings up agents.
+
+Submitting a :class:`PilotDescription` translates into a batch job on the
+target platform; once the job starts, the manager materialises the node
+list, pays the agent bootstrap cost and flips the pilot to
+``PMGR_ACTIVE``.  Cancellation and walltime expiry drive the pilot to a
+final state and (via :class:`repro.pilot.task_manager.TaskManager` watchers)
+cancel any still-running tasks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Union
+
+from ..hpc.batch import JobState
+from ..hpc.node import NodeList
+from ..sim.events import AnyOf, Event
+from ..utils.log import get_logger
+from .agent import Agent
+from .description import PilotDescription
+from .states import PilotState
+from .task import Pilot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Session
+
+__all__ = ["PilotManager"]
+
+log = get_logger("pilot.pmgr")
+
+#: Mean/std of the agent bootstrap cost (seconds): starting the agent
+#: processes and wiring its communication channels once nodes are up.
+AGENT_BOOTSTRAP_MEAN_S = 2.5
+AGENT_BOOTSTRAP_STD_S = 0.5
+
+
+class PilotManager:
+    """Manages the lifecycle of pilots within one session."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.uid = session.ids.generate("pmgr")
+        self._pilots: dict[str, Pilot] = {}
+        self._rng = session.rng(f"pmgr.{self.uid}")
+
+    # -- submission -----------------------------------------------------------
+    def submit_pilots(
+        self, descriptions: Union[PilotDescription, Iterable[PilotDescription]],
+    ) -> List[Pilot]:
+        """Submit one or many pilot descriptions; returns pilot handles."""
+        if isinstance(descriptions, PilotDescription):
+            descriptions = [descriptions]
+        pilots: List[Pilot] = []
+        for desc in descriptions:
+            pilot = Pilot(self.session, desc,
+                          self.session.ids.generate("pilot"))
+            spec = pilot.platform
+            n_nodes = desc.required_nodes(spec.cores_per_node,
+                                          spec.gpus_per_node)
+            batch = self.session.batch_system(spec.name)
+            pilot.advance(PilotState.PMGR_LAUNCHING, self.uid)
+            pilot.batch_job = batch.submit(n_nodes, desc.runtime_s)
+            self._pilots[pilot.uid] = pilot
+            self.session.engine.process(self._lifecycle(pilot, n_nodes))
+            pilots.append(pilot)
+            log.info("submitted %s: %d nodes on %s", pilot.uid, n_nodes,
+                     spec.name)
+        return pilots
+
+    def _lifecycle(self, pilot: Pilot, n_nodes: int):
+        """Process: job start -> agent up -> ACTIVE -> watch for the end."""
+        job = pilot.batch_job
+        spec = pilot.platform
+        yield AnyOf(self.session.engine, [job.started, job.finished])
+
+        if not job.started.processed:
+            # Cancelled while pending: job went final without starting.
+            self._finalise(pilot, PilotState.CANCELED)
+            return
+
+        pilot.nodes = NodeList.build(
+            count=n_nodes, cores=spec.cores_per_node,
+            gpus=spec.gpus_per_node, mem_gb=spec.mem_per_node_gb,
+            name_prefix=f"{pilot.uid}-node")
+        bootstrap = max(0.1, self._rng.normal(AGENT_BOOTSTRAP_MEAN_S,
+                                              AGENT_BOOTSTRAP_STD_S))
+        yield self.session.engine.timeout(bootstrap)
+        pilot.agent = Agent(self.session, pilot.uid, pilot.nodes,
+                            spec.launch_method, spec.name)
+        pilot.advance(PilotState.PMGR_ACTIVE, self.uid)
+        pilot.became_active.succeed(pilot)
+        log.info("%s active (%d nodes) at t=%.2f", pilot.uid, n_nodes,
+                 self.session.engine.now)
+
+        final = yield job.finished
+        if pilot.state == PilotState.PMGR_ACTIVE:
+            state = (PilotState.DONE if final == JobState.COMPLETED
+                     else PilotState.CANCELED if final == JobState.CANCELLED
+                     else PilotState.FAILED)  # walltime timeout
+            self._finalise(pilot, state)
+
+    def _finalise(self, pilot: Pilot, state: str) -> None:
+        pilot.advance(state, self.uid)
+        if not pilot.became_active.triggered:
+            pilot.became_active.fail(
+                RuntimeError(f"{pilot.uid} went {state} before activation"))
+            pilot.became_active.defuse()
+        pilot.finished.succeed(state)
+
+    # -- control --------------------------------------------------------------
+    def cancel_pilots(self, pilots: Union[Pilot, Iterable[Pilot]]) -> None:
+        """Cancel pilots (releases their batch allocation)."""
+        if isinstance(pilots, Pilot):
+            pilots = [pilots]
+        for pilot in pilots:
+            if pilot.state in PilotState.FINAL:
+                continue
+            batch = self.session.batch_system(pilot.platform.name)
+            batch.cancel(pilot.batch_job)
+
+    def complete_pilot(self, pilot: Pilot) -> None:
+        """Release an active pilot's allocation cleanly (state DONE)."""
+        batch = self.session.batch_system(pilot.platform.name)
+        batch.complete(pilot.batch_job)
+
+    def wait_active(self, pilots: Union[Pilot, Iterable[Pilot]]) -> Event:
+        """Event succeeding once all given pilots are active."""
+        if isinstance(pilots, Pilot):
+            pilots = [pilots]
+        return self.session.engine.all_of(
+            [p.became_active for p in pilots])
+
+    def get(self, uid: str) -> Pilot:
+        return self._pilots[uid]
+
+    @property
+    def pilots(self) -> List[Pilot]:
+        return list(self._pilots.values())

@@ -1,0 +1,88 @@
+"""Timestamped profile events, RADICAL-style.
+
+Every runtime component records ``(time, entity_uid, event, component)``
+rows; the analytics layer (:mod:`repro.analytics.metrics`) derives the
+paper's metrics from them:
+
+* **BT** (bootstrap time)  = launch + init + publish durations per service;
+* **RT** (response time)   = communication + service + inference per request;
+* **IT** (inference time)  = the inference component alone.
+
+The profiler is append-only and cheap; queries build numpy arrays on demand.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Profiler", "ProfileEvent"]
+
+ProfileEvent = Tuple[float, str, str, str]  # (time, uid, event, component)
+
+
+class Profiler:
+    """Append-only event store with duration extraction."""
+
+    def __init__(self) -> None:
+        self._rows: List[ProfileEvent] = []
+        self._by_uid: Dict[str, List[ProfileEvent]] = defaultdict(list)
+
+    def record(self, time: float, uid: str, event: str,
+               component: str = "") -> None:
+        """Append one profile row."""
+        row = (float(time), uid, event, component)
+        self._rows.append(row)
+        self._by_uid[uid].append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- queries -------------------------------------------------------------
+    def events(self, uid: Optional[str] = None,
+               event: Optional[str] = None) -> List[ProfileEvent]:
+        """Rows filtered by uid and/or event name."""
+        rows = self._by_uid.get(uid, []) if uid is not None else self._rows
+        if event is not None:
+            rows = [r for r in rows if r[2] == event]
+        return list(rows)
+
+    def timestamp(self, uid: str, event: str) -> Optional[float]:
+        """First timestamp of *event* for *uid* (None if absent)."""
+        for row in self._by_uid.get(uid, ()):
+            if row[2] == event:
+                return row[0]
+        return None
+
+    def duration(self, uid: str, start_event: str,
+                 stop_event: str) -> Optional[float]:
+        """Seconds between two events of one entity (None if either absent)."""
+        t0 = self.timestamp(uid, start_event)
+        t1 = self.timestamp(uid, stop_event)
+        if t0 is None or t1 is None:
+            return None
+        return t1 - t0
+
+    def durations(self, uids: Iterable[str], start_event: str,
+                  stop_event: str) -> np.ndarray:
+        """Vector of durations across entities (skips incomplete ones)."""
+        values = []
+        for uid in uids:
+            d = self.duration(uid, start_event, stop_event)
+            if d is not None:
+                values.append(d)
+        return np.asarray(values, dtype=float)
+
+    def uids_with_event(self, event: str) -> List[str]:
+        """All entity uids that recorded *event* (insertion ordered)."""
+        seen = {}
+        for row in self._rows:
+            if row[2] == event:
+                seen.setdefault(row[1], None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._by_uid.clear()

@@ -1,0 +1,142 @@
+"""The Session: root object owning engine, fabric, bus and bookkeeping.
+
+Mirrors RADICAL-Pilot's ``rp.Session``: every run starts by creating a
+session, from which managers (:class:`PilotManager`, :class:`TaskManager`,
+:class:`ServiceManager`) are derived.  The session also fixes the execution
+mode:
+
+* ``mode="virtual"``  -- discrete-event time; cost models; used by the
+  benchmark harness to reproduce the paper's scales.
+* ``mode="realtime"`` -- wall-clock pacing (``realtime_factor`` seconds of
+  wall time per simulated second; 1.0 = true real time) plus a thread
+  pool so function tasks execute *real* Python work.  Keep the factor above
+  zero in this mode: at 0, *modeled* delays (launch costs, walltimes)
+  collapse to zero wall time and race ahead of real worker threads.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Union
+
+from ..comm.bus import MessageBus
+from ..hpc.batch import BatchSystem
+from ..hpc.network import Fabric
+from ..hpc.platform import PLATFORMS, PlatformSpec, get_platform
+from ..sim.engine import RealtimeEngine, SimulationEngine
+from ..sim.events import Event
+from ..sim.rng import RngHub
+from ..utils.ids import IdRegistry
+from ..utils.log import get_logger
+from .profiler import Profiler
+
+__all__ = ["Session"]
+
+log = get_logger("pilot.session")
+
+
+class Session:
+    """Root container for one runtime instance."""
+
+    MODES = ("virtual", "realtime")
+
+    def __init__(self, mode: str = "virtual", seed: int = 0,
+                 realtime_factor: float = 1.0,
+                 platforms: Optional[List[Union[str, PlatformSpec]]] = None,
+                 uid: Optional[str] = None) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}")
+        self.mode = mode
+        self.ids = IdRegistry()
+        self.uid = uid or self.ids.generate("session")
+        self.rng_hub = RngHub(seed)
+        if mode == "virtual":
+            self.engine: SimulationEngine = SimulationEngine()
+        else:
+            self.engine = RealtimeEngine(factor=realtime_factor)
+        self.fabric = Fabric(self.rng_hub.stream("fabric"))
+        self.profiler = Profiler()
+        self._batch: Dict[str, BatchSystem] = {}
+        self._closed = False
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+        specs: List[PlatformSpec] = []
+        for entry in (platforms if platforms is not None
+                      else list(PLATFORMS.values())):
+            specs.append(entry if isinstance(entry, PlatformSpec)
+                         else get_platform(entry))
+        self._platforms = {spec.name: spec for spec in specs}
+        for spec in self._platforms.values():
+            self.fabric.add_platform(spec)
+
+        self.bus = MessageBus(self.engine, self.fabric)
+        log.info("session %s created (mode=%s, seed=%d)", self.uid, mode, seed)
+
+    # -- lookups -------------------------------------------------------------
+    def platform(self, name: str) -> PlatformSpec:
+        """Resolve a platform registered with this session."""
+        try:
+            return self._platforms[name]
+        except KeyError:
+            raise KeyError(
+                f"platform {name!r} not attached to session "
+                f"(have: {sorted(self._platforms)})") from None
+
+    def platforms(self) -> Dict[str, PlatformSpec]:
+        return dict(self._platforms)
+
+    def batch_system(self, platform_name: str) -> BatchSystem:
+        """The (lazily created) batch scheduler of one platform."""
+        system = self._batch.get(platform_name)
+        if system is None:
+            spec = self.platform(platform_name)
+            system = BatchSystem(
+                self.engine, spec, self.rng_hub.stream(f"batch.{spec.name}"))
+            self._batch[platform_name] = system
+        return system
+
+    def rng(self, stream: str):
+        """A named deterministic RNG stream scoped to this session."""
+        return self.rng_hub.stream(stream)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- real-work execution (realtime mode) ------------------------------------
+    @property
+    def worker_pool(self) -> ThreadPoolExecutor:
+        """Thread pool used by executors to run real function tasks."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix=f"{self.uid}-worker")
+        return self._pool
+
+    # -- running -----------------------------------------------------------------
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Drive the engine (see :meth:`SimulationEngine.run`)."""
+        return self.engine.run(until=until)
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the session down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        log.info("session %s closed at t=%.3f", self.uid, self.engine.now)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<Session {self.uid} mode={self.mode} t={self.engine.now:.3f}>"

@@ -1,0 +1,136 @@
+"""Task and Pilot runtime entities.
+
+Entities pair a user description with live state: lifecycle state (enforced
+by :mod:`repro.pilot.states`), placement (pilot binding, slots), results and
+an engine event that observers can wait on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..hpc.node import NodeList, Slot
+from ..sim.events import Event
+from ..utils.ids import IdRegistry
+from .description import PilotDescription, TaskDescription
+from .states import (
+    PILOT_MODEL,
+    TASK_MODEL,
+    PilotState,
+    StateModel,
+    TaskState,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Session
+
+__all__ = ["Task", "Pilot"]
+
+
+class _StatefulEntity:
+    """Shared machinery: validated state + profile + state callbacks."""
+
+    _model: StateModel
+    _initial: str
+
+    def __init__(self, session: "Session", uid: str) -> None:
+        self.session = session
+        self.uid = uid
+        self.state = self._initial
+        self._callbacks: List[Callable[[Any, str], None]] = []
+
+    def advance(self, target: str, component: str = "") -> None:
+        """Move to *target* state; records profile + notifies callbacks."""
+        self._model.check(self.state, target)
+        self.state = target
+        self.session.profiler.record(self.session.engine.now, self.uid,
+                                     f"state:{target}", component)
+        for callback in list(self._callbacks):
+            callback(self, target)
+
+    def on_state(self, callback: Callable[[Any, str], None]) -> None:
+        """Register ``callback(entity, new_state)`` for every transition."""
+        self._callbacks.append(callback)
+
+
+class Task(_StatefulEntity):
+    """One unit of work bound to a session.
+
+    ``completed`` is an engine event that *succeeds with the final state*
+    regardless of DONE/FAILED/CANCELED -- waiting never raises; inspect
+    :attr:`exception` / :attr:`state` for the outcome.
+    """
+
+    _model = TASK_MODEL
+    _initial = TaskState.NEW
+
+    def __init__(self, session: "Session",
+                 description: TaskDescription, uid: str) -> None:
+        super().__init__(session, uid)
+        self.description = description
+        self.pilot_uid: Optional[str] = None
+        self.slots: List[Slot] = []
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.exit_code: Optional[int] = None
+        self.completed: Event = session.engine.event()
+        #: wall/sim duration actually spent executing
+        self.runtime_s: Optional[float] = None
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in TaskState.FINAL
+
+    @property
+    def n_cores(self) -> int:
+        return self.description.ranks * self.description.cores_per_rank
+
+    @property
+    def n_gpus(self) -> int:
+        return self.description.ranks * self.description.gpus_per_rank
+
+    def finish(self, state: str, component: str = "") -> None:
+        """Enter a final state and trigger the completion event."""
+        if self.is_final:
+            return
+        self.advance(state, component)
+        self.completed.succeed(state)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.uid} {self.state}>"
+
+
+class Pilot(_StatefulEntity):
+    """An agent running inside one batch allocation."""
+
+    _model = PILOT_MODEL
+    _initial = PilotState.NEW
+
+    def __init__(self, session: "Session",
+                 description: PilotDescription, uid: str) -> None:
+        super().__init__(session, uid)
+        self.description = description
+        self.platform = session.platform(description.resource)
+        self.nodes: Optional[NodeList] = None
+        self.agent = None  # set on activation (repro.pilot.agent.Agent)
+        self.batch_job = None
+        self.became_active: Event = session.engine.event()
+        self.finished: Event = session.engine.event()
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == PilotState.PMGR_ACTIVE
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes) if self.nodes is not None else 0
+
+    def free_capacity(self) -> Dict[str, int]:
+        """Currently free cores/GPUs across the pilot's nodes."""
+        if self.nodes is None:
+            return {"cores": 0, "gpus": 0}
+        return {"cores": self.nodes.total_free_cores,
+                "gpus": self.nodes.total_free_gpus}
+
+    def __repr__(self) -> str:
+        return f"<Pilot {self.uid} {self.state} on {self.description.resource}>"

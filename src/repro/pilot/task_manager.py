@@ -1,0 +1,170 @@
+"""TaskManager: accepts tasks, binds them to pilots, drives their lifecycle.
+
+One driver process per task walks the pipeline of Fig. 2: TMGR scheduling
+(pilot binding) -> input staging (DataManager) -> agent scheduling ->
+execution -> output staging -> final state.  Failures are captured on the
+task (never crash the manager); cancellation interrupts the driver at
+whatever phase it is in, with slot cleanup guaranteed by the agent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
+
+from ..sim.events import Event, Interrupt, Process
+from ..utils.log import get_logger
+from .data_manager import DataManager
+from .description import TaskDescription
+from .states import PilotState, TaskState
+from .task import Pilot, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Session
+
+__all__ = ["TaskManager"]
+
+log = get_logger("pilot.tmgr")
+
+
+class TaskManager:
+    """Manages compute tasks within one session."""
+
+    def __init__(self, session: "Session",
+                 client_platform: str = "localhost") -> None:
+        self.session = session
+        self.uid = session.ids.generate("tmgr")
+        self.data_manager = DataManager(session, client_platform)
+        self._pilots: List[Pilot] = []
+        self._tasks: Dict[str, Task] = {}
+        self._drivers: Dict[str, Process] = {}
+        self._callbacks: List[Callable[[Task, str], None]] = []
+        self._rr = itertools.count()
+
+    # -- pilot binding -----------------------------------------------------------
+    def add_pilots(self, pilots: Union[Pilot, Iterable[Pilot]]) -> None:
+        """Attach pilots; tasks are distributed round-robin among them."""
+        if isinstance(pilots, Pilot):
+            pilots = [pilots]
+        for pilot in pilots:
+            if pilot in self._pilots:
+                continue
+            self._pilots.append(pilot)
+            self.session.engine.process(self._watch_pilot(pilot))
+
+    def _watch_pilot(self, pilot: Pilot):
+        """Cancel a dead pilot's still-running tasks."""
+        state = yield pilot.finished
+        victims = [t for t in self._tasks.values()
+                   if t.pilot_uid == pilot.uid and not t.is_final]
+        if victims:
+            log.warning("%s went %s; cancelling %d tasks", pilot.uid, state,
+                        len(victims))
+            self.cancel_tasks(victims)
+
+    def _select_pilot(self, task: Task) -> Pilot:
+        if task.description.pilot:
+            for pilot in self._pilots:
+                if pilot.uid == task.description.pilot:
+                    return pilot
+            raise ValueError(
+                f"{task.uid}: pilot {task.description.pilot!r} not attached")
+        if not self._pilots:
+            raise RuntimeError(
+                "no pilots attached to this TaskManager; call add_pilots()")
+        candidates = [p for p in self._pilots
+                      if p.state not in PilotState.FINAL]
+        if not candidates:
+            raise RuntimeError("all attached pilots are final")
+        return candidates[next(self._rr) % len(candidates)]
+
+    # -- submission ----------------------------------------------------------------
+    def submit_tasks(
+        self, descriptions: Union[TaskDescription, Iterable[TaskDescription]],
+    ) -> List[Task]:
+        """Submit task descriptions; returns live task handles."""
+        if isinstance(descriptions, TaskDescription):
+            descriptions = [descriptions]
+        tasks: List[Task] = []
+        for desc in descriptions:
+            task = Task(self.session, desc, self.session.ids.generate("task"))
+            for callback in self._callbacks:
+                task.on_state(callback)
+            self._tasks[task.uid] = task
+            self._drivers[task.uid] = self.session.engine.process(
+                self._drive(task))
+            tasks.append(task)
+        return tasks
+
+    def _drive(self, task: Task):
+        """Driver process: full task lifecycle with failure capture."""
+        d = task.description
+        try:
+            task.advance(TaskState.TMGR_SCHEDULING, self.uid)
+            pilot = self._select_pilot(task)
+            task.pilot_uid = pilot.uid
+            if not pilot.is_active:
+                yield pilot.became_active
+            platform_name = pilot.platform.name
+
+            if d.input_staging:
+                task.advance(TaskState.TMGR_STAGING_INPUT, self.uid)
+                yield from self.data_manager.stage(
+                    d.input_staging, platform_name, task.uid, "stage_in")
+
+            result = yield from pilot.agent.run_task(task)
+
+            if d.output_staging:
+                task.advance(TaskState.TMGR_STAGING_OUTPUT, self.uid)
+                yield from self.data_manager.stage(
+                    d.output_staging, platform_name, task.uid, "stage_out")
+
+            task.result = result if result is not None else task.result
+            task.finish(TaskState.DONE, self.uid)
+        except Interrupt:
+            task.finish(TaskState.CANCELED, self.uid)
+        except Exception as exc:  # captured on the task, not raised
+            if task.exception is None:
+                task.exception = exc
+            log.info("%s failed: %s", task.uid, exc)
+            task.finish(TaskState.FAILED, self.uid)
+
+    # -- waiting / control ----------------------------------------------------------
+    def wait_tasks(self, tasks: Optional[Iterable[Task]] = None) -> Event:
+        """Event succeeding once all given (default: all) tasks are final."""
+        tasks = list(tasks) if tasks is not None else list(self._tasks.values())
+        return self.session.engine.all_of([t.completed for t in tasks])
+
+    def cancel_tasks(self, tasks: Union[Task, Iterable[Task]]) -> None:
+        """Cancel tasks, wherever they are in the pipeline."""
+        if isinstance(tasks, Task):
+            tasks = [tasks]
+        for task in tasks:
+            if task.is_final:
+                continue
+            driver = self._drivers.get(task.uid)
+            if driver is not None and driver.is_alive:
+                driver.interrupt("cancelled by user")
+            else:  # not yet started driving (shouldn't happen) -- force
+                task.finish(TaskState.CANCELED, self.uid)
+
+    def register_callback(self,
+                          callback: Callable[[Task, str], None]) -> None:
+        """Invoke ``callback(task, state)`` on every task state change."""
+        self._callbacks.append(callback)
+        for task in self._tasks.values():
+            task.on_state(callback)
+
+    # -- introspection -----------------------------------------------------------------
+    def get(self, uid: str) -> Task:
+        return self._tasks[uid]
+
+    @property
+    def tasks(self) -> List[Task]:
+        return list(self._tasks.values())
+
+    def counts_by_state(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for task in self._tasks.values():
+            counts[task.state] = counts.get(task.state, 0) + 1
+        return counts

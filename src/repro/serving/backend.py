@@ -1,0 +1,185 @@
+"""Model backends: what a service instance loads and runs.
+
+A :class:`ModelBackend` bundles a *cost model* (load time, per-request
+inference time) with an *inference function* (what payload comes back).
+Two backends reproduce the paper's experiments:
+
+* :class:`NoopModel` -- Experiment 2's NOOP: "a NOOP model, which will
+  immediately reply without performing any actual inference" (§IV).
+* :class:`LlamaModel` -- Experiments 1 & 3's ``llama-8b``: load time sized by
+  weight volume over shared-filesystem bandwidth (dominating bootstrap,
+  Fig. 3) and inference time from a prefill+decode token model (dominating
+  response time, Fig. 6).  Text is really generated (Markov sampler).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .generator import MarkovGenerator, default_generator, tokenize
+
+__all__ = [
+    "InferenceResultPayload",
+    "ModelBackend",
+    "NoopModel",
+    "LlamaModel",
+    "create_backend",
+    "register_backend",
+    "BACKENDS",
+]
+
+
+@dataclass
+class InferenceResultPayload:
+    """What a backend returns for one request."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class ModelBackend:
+    """Base class for servable models."""
+
+    #: canonical model name (e.g. "llama-8b")
+    name: str = "base"
+
+    def load_time(self, rng, concurrent_loads: int = 1,
+                  fs_bandwidth_gbps: float = 2.0,
+                  fs_aggregate_gbps: float = 100.0) -> float:
+        """Seconds to load+initialise under *concurrent_loads* contention.
+
+        ``fs_bandwidth_gbps`` is the per-client read cap;
+        ``fs_aggregate_gbps`` the shared pool concurrent loaders divide.
+        """
+        raise NotImplementedError
+
+    def infer(self, prompt: str, rng,
+              params: Optional[Dict[str, Any]] = None,
+              ) -> Tuple[InferenceResultPayload, float]:
+        """Run one inference: returns (payload, modeled duration seconds)."""
+        raise NotImplementedError
+
+    #: GPU memory the model occupies when resident (GB).
+    gpu_mem_gb: float = 0.0
+
+
+class NoopModel(ModelBackend):
+    """Immediate-reply model for measuring pure service overhead (Exp 2)."""
+
+    name = "noop"
+    gpu_mem_gb = 0.0
+
+    #: tiny fixed handling cost: a function call and a dict build
+    NOOP_COST_S = 2e-6
+
+    def load_time(self, rng, concurrent_loads: int = 1,
+                  fs_bandwidth_gbps: float = 2.0,
+                  fs_aggregate_gbps: float = 100.0) -> float:
+        # Starting the (empty) service runtime: python interpreter + imports.
+        return float(max(0.05, rng.normal(0.5, 0.05)))
+
+    def infer(self, prompt: str, rng, params=None):
+        payload = InferenceResultPayload(
+            text="", prompt_tokens=len(tokenize(prompt)),
+            completion_tokens=0, model=self.name)
+        return payload, self.NOOP_COST_S
+
+
+class LlamaModel(ModelBackend):
+    """Synthetic Llama-class generative model with calibrated timing.
+
+    Cost model (defaults sized for 8B params served on one A100/MI250X-class
+    GPU by a simple host like Ollama):
+
+    * weights: ``2 bytes * params`` (fp16) read from the shared filesystem at
+      ``fs_bandwidth_gbps`` split across concurrent loaders, plus a fixed
+      runtime-initialisation term -- this is the Fig. 3 ``init`` component
+      (~40 s for 8B, mildly growing with contention);
+    * inference: ``prompt_tokens / prefill_tps + completion_tokens /
+      decode_tps`` with gaussian jitter -- seconds per request, dominating
+      Fig. 6.
+    """
+
+    def __init__(self, params_b: float = 8.0,
+                 prefill_tps: float = 3000.0,
+                 decode_tps: float = 35.0,
+                 init_const_s: float = 8.0,
+                 generator: Optional[MarkovGenerator] = None) -> None:
+        if params_b <= 0:
+            raise ValueError("params_b must be positive")
+        self.params_b = params_b
+        self.prefill_tps = prefill_tps
+        self.decode_tps = decode_tps
+        self.init_const_s = init_const_s
+        self.name = f"llama-{int(params_b)}b"
+        self.gpu_mem_gb = params_b * 2.0  # fp16 weights
+        self._generator = generator or default_generator()
+
+    def load_time(self, rng, concurrent_loads: int = 1,
+                  fs_bandwidth_gbps: float = 2.0,
+                  fs_aggregate_gbps: float = 100.0) -> float:
+        if concurrent_loads < 1:
+            raise ValueError("concurrent_loads must be >= 1")
+        weights_gb = self.gpu_mem_gb
+        # Each loader reads at its per-client cap until the shared aggregate
+        # pool saturates; beyond that point bandwidth divides evenly.
+        effective_gbps = min(fs_bandwidth_gbps,
+                             fs_aggregate_gbps / concurrent_loads)
+        read_s = weights_gb / max(effective_gbps, 1e-3)
+        init_s = max(1.0, rng.normal(self.init_const_s, self.init_const_s * 0.1))
+        return float(read_s + init_s)
+
+    def infer(self, prompt: str, rng, params=None):
+        params = params or {}
+        max_tokens = int(params.get("max_tokens", 256))
+        if max_tokens < 0:
+            raise ValueError("max_tokens must be >= 0")
+        prompt_tokens = len(tokenize(prompt))
+        # Sample the actual completion length: requests rarely use the cap.
+        completion_tokens = int(min(
+            max_tokens, max(1, rng.normal(0.75 * max_tokens,
+                                          0.15 * max_tokens))))
+        text = self._generator.generate(prompt, completion_tokens, rng)
+        duration = (prompt_tokens / self.prefill_tps
+                    + completion_tokens / self.decode_tps)
+        duration *= float(max(0.5, rng.normal(1.0, 0.05)))
+        payload = InferenceResultPayload(
+            text=text, prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens, model=self.name)
+        return payload, float(duration)
+
+
+#: model-name -> factory
+BACKENDS: Dict[str, Callable[[], ModelBackend]] = {
+    "noop": NoopModel,
+    "llama-8b": lambda: LlamaModel(params_b=8.0),
+    "llama-70b": lambda: LlamaModel(params_b=70.0, decode_tps=8.0),
+}
+
+_LLAMA_RE = re.compile(r"^llama-(\d+(?:\.\d+)?)b$")
+
+
+def register_backend(name: str, factory: Callable[[], ModelBackend],
+                     overwrite: bool = False) -> None:
+    """Register a custom model backend factory."""
+    if name in BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} already registered")
+    BACKENDS[name] = factory
+
+
+def create_backend(model_name: str) -> ModelBackend:
+    """Instantiate a backend by model name (``llama-<N>b`` parsed generically)."""
+    factory = BACKENDS.get(model_name)
+    if factory is not None:
+        return factory()
+    match = _LLAMA_RE.match(model_name)
+    if match:
+        return LlamaModel(params_b=float(match.group(1)))
+    raise KeyError(
+        f"unknown model {model_name!r}; known: {sorted(BACKENDS)} "
+        f"or 'llama-<N>b'")

@@ -1,0 +1,340 @@
+"""Event primitives for the discrete-event simulation (DES) kernel.
+
+The kernel follows the classic process-interaction style (as popularised by
+SimPy, re-implemented here from scratch): an :class:`Event` is a one-shot
+occurrence with a value; a :class:`Process` wraps a generator that *yields*
+events and is resumed when they trigger; :class:`Condition` composes events
+(:func:`AllOf` / :func:`AnyOf`).
+
+Events move through three phases:
+
+1. *untriggered* -- created, value not decided;
+2. *triggered*   -- value decided (ok or failed), scheduled on the engine;
+3. *processed*   -- callbacks ran, value immutable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import SimulationEngine
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _Pending:
+    """Sentinel for 'value not yet decided'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+#: Scheduling priorities (smaller runs first at equal timestamps).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Callbacks are callables of one argument (the event) and run when the
+    engine processes the event.  After processing, ``callbacks`` is ``None``
+    and further registration is an error (observers must then inspect
+    :attr:`ok`/:attr:`value` directly).
+    """
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+        self._cancelled = False
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event value has been decided."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if untriggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event value (or the exception instance, for failed events)."""
+        if self._value is PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine does not re-raise."""
+        self._defused = True
+
+    # -- triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception* as its value."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.engine.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Adopt the outcome of another (triggered) event.
+
+        Used to chain events: the target assumes *event*'s ok/value.
+        """
+        self._ok = event._ok
+        self._value = event._value
+        self.engine.schedule(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, engine: "SimulationEngine", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(engine)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        engine.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def cancel(self) -> None:
+        """Withdraw the timeout before it fires.
+
+        Cancelled timeouts are skipped by the engine *without advancing the
+        clock*, so early-terminated watchdogs (walltime timers, liveness
+        probes) do not drag simulated time to their original deadline.
+        """
+        if self.processed:
+            raise RuntimeError("cannot cancel an already-processed timeout")
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The wrapped generator yields :class:`Event` instances; the process is
+    resumed with the event's value once it triggers (or the exception is
+    thrown into the generator if the event failed).  The process itself is an
+    event that triggers when the generator returns (value = return value) or
+    raises (failed event).
+    """
+
+    def __init__(self, engine: "SimulationEngine",
+                 generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process via an immediate initialisation event.
+        init = Event(engine)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        engine.schedule(init, priority=URGENT)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (if any)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a terminated process is a silent no-op, which makes
+        shutdown paths idempotent.
+        """
+        if self._value is not PENDING:
+            return
+        _Interruption(self, cause)
+
+    # -- resume machinery -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        self.engine._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The process observes the failure; mark it defused so the
+                    # engine does not re-raise on its own.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.engine.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.engine.schedule(self)
+                break
+            finally:
+                self.engine._active_process = None
+
+            if not isinstance(next_event, Event):
+                raise RuntimeError(
+                    f"process yielded a non-event: {next_event!r}")
+            if next_event.callbacks is not None:
+                # Untriggered or not-yet-processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: consume its value immediately (no recursion).
+            event = next_event
+            self.engine._active_process = self
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process({name}) at {id(self):#x}>"
+
+
+class _Interruption(Event):
+    """Immediate event that delivers an :class:`Interrupt` to a process."""
+
+    def __init__(self, process: Process, cause: Any) -> None:
+        super().__init__(process.engine)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self._process = process
+        self.callbacks.append(self._deliver)
+        self.engine.schedule(self, priority=URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self._process
+        if process._value is not PENDING:
+            return  # completed before the interrupt landed
+        # Detach the process from whatever it was waiting on.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._resume(self)
+
+
+class Condition(Event):
+    """An event that triggers based on the outcome of several events.
+
+    *evaluate* receives (events, num_triggered_ok) and returns True once the
+    condition is met.  The condition fails as soon as any constituent fails.
+    The success value is an ordered dict mapping each *triggered* event to its
+    value.
+    """
+
+    def __init__(self, engine: "SimulationEngine",
+                 evaluate: Callable[[List[Event], int], bool],
+                 events: List[Event]) -> None:
+        super().__init__(engine)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.engine is not engine:
+                raise ValueError("cannot mix events from different engines")
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only *processed* events count: a pending Timeout pre-assigns its
+        # value at creation (so .triggered is True early), but it has not
+        # occurred until the engine processes it.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return  # already decided (e.g. failed earlier)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+def AllOf(engine: "SimulationEngine", events: List[Event]) -> Condition:
+    """Condition that triggers once *all* events have succeeded."""
+    return Condition(engine, lambda evs, n: n == len(evs), events)
+
+
+def AnyOf(engine: "SimulationEngine", events: List[Event]) -> Condition:
+    """Condition that triggers once *any* event has succeeded."""
+    return Condition(engine, lambda evs, n: n >= 1, events)

@@ -1,0 +1,111 @@
+"""Lightweight attribute-dict configuration objects.
+
+RADICAL-Pilot descriptions are dict-like objects with a fixed schema.  We use
+a small :class:`Config` base that validates keys against a declared schema,
+supports defaults, nested access and dict round-tripping.  Descriptions in
+:mod:`repro.pilot.description` build on this.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Mapping
+
+__all__ = ["Config", "ConfigError"]
+
+
+class ConfigError(Exception):
+    """Raised for unknown keys or schema violations."""
+
+
+class Config:
+    """A dict-backed object with schema-checked attribute access.
+
+    Subclasses declare ``_schema`` (key -> type or tuple of types) and
+    ``_defaults`` (key -> default value).  Unknown keys raise
+    :class:`ConfigError` early instead of silently propagating typos.
+    """
+
+    _schema: Dict[str, Any] = {}
+    _defaults: Dict[str, Any] = {}
+
+    def __init__(self, from_dict: Mapping[str, Any] | None = None, **kwargs: Any) -> None:
+        data: Dict[str, Any] = copy.deepcopy(self._defaults)
+        merged: Dict[str, Any] = {}
+        if from_dict:
+            merged.update(from_dict)
+        merged.update(kwargs)
+        object.__setattr__(self, "_data", data)
+        for key, value in merged.items():
+            self._set(key, value)
+
+    # -- validation ---------------------------------------------------------
+    def _check(self, key: str, value: Any) -> Any:
+        if key not in self._schema:
+            raise ConfigError(
+                f"{type(self).__name__}: unknown key {key!r} "
+                f"(known: {sorted(self._schema)})"
+            )
+        expected = self._schema[key]
+        if value is None or expected is None:
+            return value
+        if not isinstance(value, expected):
+            # Be forgiving about int/float coercion -- common in descriptions.
+            if expected in (float, (float,)) and isinstance(value, int):
+                return float(value)
+            if isinstance(expected, tuple) and float in expected and isinstance(value, int):
+                return float(value)
+            raise ConfigError(
+                f"{type(self).__name__}.{key}: expected {expected}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        return value
+
+    def _set(self, key: str, value: Any) -> None:
+        self._data[key] = self._check(key, value)
+
+    # -- attribute protocol -------------------------------------------------
+    def __getattr__(self, key: str) -> Any:
+        data = object.__getattribute__(self, "_data")
+        if key in data:
+            return data[key]
+        if key in self._schema:
+            return None
+        raise AttributeError(f"{type(self).__name__} has no attribute {key!r}")
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        if key.startswith("_"):
+            object.__setattr__(self, key, value)
+        else:
+            self._set(key, value)
+
+    # -- mapping protocol ----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._set(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a deep copy of the underlying data."""
+        return copy.deepcopy(self._data)
+
+    def copy(self) -> "Config":
+        return type(self)(from_dict=self.as_dict())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Config):
+            return self._data == other._data
+        if isinstance(other, dict):
+            return self._data == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        keys = ", ".join(f"{k}={v!r}" for k, v in sorted(self._data.items()))
+        return f"{type(self).__name__}({keys})"

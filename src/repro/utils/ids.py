@@ -1,0 +1,69 @@
+"""Deterministic, human-readable entity identifiers.
+
+RADICAL-Pilot names entities like ``task.0003`` or ``pilot.0000`` within a
+session.  We reproduce that convention: identifiers are ``<prefix>.<NNNN>``
+with a per-prefix monotonic counter.  Counters live in an :class:`IdRegistry`
+so that independent sessions (and independent tests) get independent,
+reproducible numbering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterator
+
+__all__ = ["IdRegistry", "generate_id", "reset_id_counters"]
+
+
+class IdRegistry:
+    """A thread-safe factory for ``<prefix>.<NNNN>`` identifiers.
+
+    Each prefix owns an independent counter starting at zero::
+
+        >>> reg = IdRegistry()
+        >>> reg.generate("task")
+        'task.0000'
+        >>> reg.generate("task")
+        'task.0001'
+        >>> reg.generate("pilot")
+        'pilot.0000'
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = {}
+        self._lock = threading.Lock()
+
+    def generate(self, prefix: str, width: int = 4) -> str:
+        """Return the next identifier for *prefix*."""
+        if not prefix:
+            raise ValueError("id prefix must be a non-empty string")
+        with self._lock:
+            counter = self._counters.get(prefix)
+            if counter is None:
+                counter = itertools.count()
+                self._counters[prefix] = counter
+            seq = next(counter)
+        return f"{prefix}.{seq:0{width}d}"
+
+    def reset(self, prefix: str | None = None) -> None:
+        """Reset one prefix counter, or all counters when *prefix* is None."""
+        with self._lock:
+            if prefix is None:
+                self._counters.clear()
+            else:
+                self._counters.pop(prefix, None)
+
+
+#: Process-global registry used by entities created outside a session scope.
+_GLOBAL_REGISTRY = IdRegistry()
+
+
+def generate_id(prefix: str, width: int = 4) -> str:
+    """Generate an identifier from the process-global registry."""
+    return _GLOBAL_REGISTRY.generate(prefix, width=width)
+
+
+def reset_id_counters(prefix: str | None = None) -> None:
+    """Reset global id counters (used by tests for reproducible naming)."""
+    _GLOBAL_REGISTRY.reset(prefix)

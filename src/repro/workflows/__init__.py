@@ -1,0 +1,114 @@
+"""Workflow layer: pipeline orchestration and the three LUCID use cases.
+
+* :mod:`repro.workflows.dag` -- Pipeline/Stage abstraction over the runtime;
+* :mod:`repro.workflows.cell_painting` -- use case II-A;
+* :mod:`repro.workflows.signature_detection` -- use case II-B;
+* :mod:`repro.workflows.uq` -- use case II-C;
+* supporting substrates: imaging, VCF, VEP, pathways, dose-response, MLP,
+  HPO, UQ methods, synthetic QA data.
+"""
+
+from .dag import Pipeline, StageFailure, StageSpec, WorkflowRunner
+from .mlp import MLPClassifier, MLPConfig
+from .hpo import (
+    ChoiceParam,
+    FloatParam,
+    IntParam,
+    RandomSampler,
+    SearchSpace,
+    Study,
+    TpeSampler,
+    Trial,
+)
+from .imaging import (
+    DOSE_LEVELS_GY,
+    augment,
+    extract_features,
+    generate_cell_image,
+    generate_dataset,
+)
+from .vcf import Variant, generate_vcf, parse_vcf, transition_fraction, write_vcf
+from .vep import AnnotatedVariant, GeneModel, VepAnnotator
+from .pathways import (
+    EnrichmentResult,
+    PathwayDatabase,
+    benjamini_hochberg,
+    enrich,
+)
+from .dose_response import DoseResponseFit, fit_hill, fit_linear, hill
+from .uq_methods import (
+    BayesianLinearUQ,
+    EnsembleUQ,
+    UQMetrics,
+    UQ_METHODS,
+    create_uq_method,
+    evaluate_probs,
+)
+from .generator_data import TOPICS, make_qa_dataset
+from .cell_painting import (
+    CellPaintingConfig,
+    CellPaintingResult,
+    build_cell_painting_pipeline,
+)
+from .signature_detection import (
+    SignatureConfig,
+    SignatureResult,
+    build_signature_pipeline,
+)
+from .uq import UQConfig, UQResult, UQSummaryRow, build_uq_pipeline
+
+__all__ = [
+    "Pipeline",
+    "StageFailure",
+    "StageSpec",
+    "WorkflowRunner",
+    "MLPClassifier",
+    "MLPConfig",
+    "ChoiceParam",
+    "FloatParam",
+    "IntParam",
+    "RandomSampler",
+    "SearchSpace",
+    "Study",
+    "TpeSampler",
+    "Trial",
+    "DOSE_LEVELS_GY",
+    "augment",
+    "extract_features",
+    "generate_cell_image",
+    "generate_dataset",
+    "Variant",
+    "generate_vcf",
+    "parse_vcf",
+    "transition_fraction",
+    "write_vcf",
+    "AnnotatedVariant",
+    "GeneModel",
+    "VepAnnotator",
+    "EnrichmentResult",
+    "PathwayDatabase",
+    "benjamini_hochberg",
+    "enrich",
+    "DoseResponseFit",
+    "fit_hill",
+    "fit_linear",
+    "hill",
+    "BayesianLinearUQ",
+    "EnsembleUQ",
+    "UQMetrics",
+    "UQ_METHODS",
+    "create_uq_method",
+    "evaluate_probs",
+    "TOPICS",
+    "make_qa_dataset",
+    "CellPaintingConfig",
+    "CellPaintingResult",
+    "build_cell_painting_pipeline",
+    "SignatureConfig",
+    "SignatureResult",
+    "build_signature_pipeline",
+    "UQConfig",
+    "UQResult",
+    "UQSummaryRow",
+    "build_uq_pipeline",
+]

@@ -1,0 +1,139 @@
+"""Pipeline/Stage workflow abstraction (the EnTK-like orchestration layer).
+
+The paper assumes "workflow or pipeline applications are described via
+workflow management systems" sitting above the runtime (§III, Fig. 1).
+This module is that thin layer: a :class:`Pipeline` is an ordered list of
+:class:`StageSpec` objects, each either *declarative* (build task
+descriptions from the running context, collect results back into it) or
+*custom* (a generator taking over the stage for dynamic behaviours such as
+iterative HPO or data/training overlap).
+
+Stages carry the Table-I metadata (resource type, service enablement) so
+the Table-I benchmark can report the use-case structure directly from the
+pipeline definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..pilot.description import TaskDescription
+from ..pilot.states import TaskState
+from ..pilot.task import Task
+from ..pilot.task_manager import TaskManager
+from ..utils.log import get_logger
+
+__all__ = ["StageSpec", "Pipeline", "WorkflowRunner", "StageFailure"]
+
+log = get_logger("workflows.dag")
+
+
+class StageFailure(Exception):
+    """Raised when a stage's tasks fail beyond the allowed tolerance."""
+
+
+@dataclass
+class StageSpec:
+    """One pipeline stage.
+
+    Either provide ``build`` (+ optional ``collect``) for a static bag of
+    tasks, or ``run`` -- a generator function ``run(runner, context)`` that
+    drives the stage itself (submitting tasks/services as it pleases).
+    """
+
+    name: str
+    #: Table I metadata
+    resource_type: str = "CPU"          # "CPU" | "GPU"
+    as_service: bool = False
+    #: declarative form
+    build: Optional[Callable[[Dict[str, Any]], List[TaskDescription]]] = None
+    collect: Optional[Callable[[Dict[str, Any], List[Task]], None]] = None
+    #: custom form
+    run: Optional[Callable[["WorkflowRunner", Dict[str, Any]],
+                           Generator]] = None
+    #: fraction of tasks allowed to fail before the stage fails
+    failure_tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.build is None) == (self.run is None):
+            raise ValueError(
+                f"stage {self.name!r}: provide exactly one of build= or run=")
+        if self.resource_type not in ("CPU", "GPU"):
+            raise ValueError("resource_type must be CPU or GPU")
+        if not 0 <= self.failure_tolerance <= 1:
+            raise ValueError("failure_tolerance must be in [0, 1]")
+
+
+@dataclass
+class Pipeline:
+    """A named, ordered sequence of stages."""
+
+    name: str
+    stages: List[StageSpec]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"pipeline {self.name!r} has no stages")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"pipeline {self.name!r}: duplicate stage names")
+
+    def table_rows(self) -> List[Dict[str, Any]]:
+        """Table-I style rows: stage -> resource type -> service flag."""
+        return [{
+            "pipeline": self.name,
+            "stage": s.name,
+            "resource_type": s.resource_type,
+            "as_service": s.as_service,
+        } for s in self.stages]
+
+
+class WorkflowRunner:
+    """Executes pipelines on a session via a TaskManager."""
+
+    def __init__(self, session, task_manager: TaskManager) -> None:
+        self.session = session
+        self.tmgr = task_manager
+
+    # -- helpers usable from custom stage generators ------------------------------
+    def submit_and_wait(self, descriptions: List[TaskDescription],
+                        failure_tolerance: float = 0.0):
+        """Process body: run a bag of tasks, return the finished tasks."""
+        if not descriptions:
+            return []
+        tasks = self.tmgr.submit_tasks(descriptions)
+        yield self.tmgr.wait_tasks(tasks)
+        failed = [t for t in tasks if t.state != TaskState.DONE]
+        if len(failed) > failure_tolerance * len(tasks):
+            first = failed[0]
+            raise StageFailure(
+                f"{len(failed)}/{len(tasks)} tasks failed "
+                f"(first: {first.uid}: {first.exception})")
+        return tasks
+
+    # -- pipeline execution ----------------------------------------------------------
+    def run_pipeline(self, pipeline: Pipeline,
+                     context: Optional[Dict[str, Any]] = None):
+        """Process body: run stages in order; returns the final context."""
+        context = context if context is not None else {}
+        profiler = self.session.profiler
+        engine = self.session.engine
+        uid = f"pipeline.{pipeline.name}"
+        profiler.record(engine.now, uid, "pipeline_start", "workflow")
+        for stage in pipeline.stages:
+            stage_uid = f"{uid}.{stage.name}"
+            profiler.record(engine.now, stage_uid, "stage_start", "workflow")
+            log.info("%s: stage %s starting at t=%.1f", pipeline.name,
+                     stage.name, engine.now)
+            if stage.run is not None:
+                yield from stage.run(self, context)
+            else:
+                descriptions = stage.build(context)
+                tasks = yield from self.submit_and_wait(
+                    descriptions, stage.failure_tolerance)
+                if stage.collect is not None:
+                    stage.collect(context, tasks)
+            profiler.record(engine.now, stage_uid, "stage_stop", "workflow")
+        profiler.record(engine.now, uid, "pipeline_stop", "workflow")
+        return context

@@ -1,0 +1,57 @@
+"""Synthetic QA dataset for the UQ pipeline.
+
+§II-C: "the dataset contains approximately 3.4 MB of plain text formatted
+as question-and-answer pairs".  We synthesise topic-labelled QA pairs: each
+sample has a latent topic vector (what the classifiers learn from, via the
+per-model featurisers) and real question/answer text rendered with the
+Markov generator so the corpus is genuinely text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..serving.generator import MarkovGenerator, default_generator
+
+__all__ = ["TOPICS", "make_qa_dataset"]
+
+#: Topic classes the UQ classifiers distinguish.
+TOPICS = ("radiation biology", "runtime systems", "machine learning")
+
+
+def make_qa_dataset(n_samples: int, n_classes: int = 3,
+                    latent_dim: int = 12, seed: int = 0,
+                    question_tokens: int = 12,
+                    answer_tokens: int = 24) -> Dict[str, np.ndarray]:
+    """Build the dataset: latents, labels and rendered QA text.
+
+    Returns a dict with ``latents`` (n, latent_dim), ``labels`` (n,),
+    ``questions`` and ``answers`` (lists of str).  Class structure: each
+    class has a gaussian latent centroid; samples scatter around it.
+    """
+    if n_samples < n_classes:
+        raise ValueError("need at least one sample per class")
+    if n_classes > len(TOPICS):
+        raise ValueError(f"at most {len(TOPICS)} classes supported")
+    rng = np.random.default_rng(seed)
+    centroids = rng.normal(0, 2.0, size=(n_classes, latent_dim))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    latents = centroids[labels] + rng.normal(0, 1.0,
+                                             size=(n_samples, latent_dim))
+    generator: MarkovGenerator = default_generator()
+    questions: List[str] = []
+    answers: List[str] = []
+    for label in labels:
+        topic = TOPICS[label]
+        questions.append(
+            f"what about {topic} : "
+            + generator.generate(topic, question_tokens, rng))
+        answers.append(generator.generate(topic, answer_tokens, rng))
+    return {
+        "latents": latents,
+        "labels": labels.astype(int),
+        "questions": questions,
+        "answers": answers,
+    }

@@ -1,0 +1,227 @@
+"""The Uncertainty Quantification pipeline (use case II-C, Table I row 3).
+
+Three stages mirroring §II-C:
+
+1. **Data preparation** (CPU, service-enabled) -- synthesise the QA corpus
+   once, then derive *per-LLM feature representations* (each base model maps
+   text to features through its own projection, with model-specific
+   representation noise -- planting the "some models are better" effect the
+   outer comparison level should expose).
+2. **UQ methods with three-level parallelism** (GPU, not a service) -- the
+   paper's hierarchy, run with maximal task concurrency: *models* (outer) x
+   *seeds* (middle) x *UQ methods* (inner); every cell is one runtime task
+   that really fits and evaluates the method.
+3. **Post-processing** (GPU, service-enabled) -- aggregate metrics across
+   seeds into the method/model comparison summary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..pilot.description import TaskDescription
+from ..pilot.states import TaskState
+from .dag import Pipeline, StageSpec, WorkflowRunner
+from .generator_data import make_qa_dataset
+from .uq_methods import UQMetrics, UQ_METHODS, create_uq_method, evaluate_probs
+
+__all__ = ["UQConfig", "UQCellResult", "UQSummaryRow", "UQResult",
+           "build_uq_pipeline", "featurize", "run_uq_cell"]
+
+
+@dataclass
+class UQConfig:
+    """Grid and dataset sizing (defaults are laptop-sized)."""
+
+    models: Tuple[str, ...] = ("llama", "mistral")
+    methods: Tuple[str, ...] = UQ_METHODS
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    n_train: int = 200
+    n_test: int = 100
+    n_classes: int = 3
+    latent_dim: int = 12
+    feature_dim: int = 20
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not self.models or not self.methods or not self.seeds:
+            raise ValueError("models, methods and seeds must be non-empty")
+        if self.n_train < 20 or self.n_test < 10:
+            raise ValueError("dataset too small")
+        if self.n_classes < 2:
+            raise ValueError("need >= 2 classes")
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.models) * len(self.methods) * len(self.seeds)
+
+
+#: How noisy each base model's representation is (planted quality ordering:
+#: llama > mistral > anything unknown).
+MODEL_NOISE = {"llama": 0.6, "mistral": 1.0}
+DEFAULT_MODEL_NOISE = 1.4
+
+
+def _model_projection(model: str, latent_dim: int,
+                      feature_dim: int) -> np.ndarray:
+    """Deterministic per-model projection matrix (the 'representation')."""
+    digest = hashlib.sha256(f"model:{model}".encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    return rng.normal(0, 1.0 / np.sqrt(latent_dim),
+                      size=(latent_dim, feature_dim))
+
+
+def featurize(model: str, latents: np.ndarray, rng,
+              feature_dim: int) -> np.ndarray:
+    """Per-model features: projected latents + model-specific noise."""
+    projection = _model_projection(model, latents.shape[1], feature_dim)
+    noise_scale = MODEL_NOISE.get(model, DEFAULT_MODEL_NOISE)
+    return latents @ projection + rng.normal(
+        0, noise_scale, size=(latents.shape[0], feature_dim))
+
+
+def prepare_model_data(model: str, config: UQConfig) -> Dict[str, np.ndarray]:
+    """Task payload for stage 1: build (train, test) features for a model."""
+    dataset = make_qa_dataset(
+        n_samples=config.n_train + config.n_test,
+        n_classes=config.n_classes, latent_dim=config.latent_dim,
+        seed=config.seed)
+    rng = np.random.default_rng(config.seed * 99 + hash(model) % 1000)
+    features = featurize(model, dataset["latents"], rng, config.feature_dim)
+    n_train = config.n_train
+    return {
+        "X_train": features[:n_train],
+        "y_train": dataset["labels"][:n_train],
+        "X_test": features[n_train:],
+        "y_test": dataset["labels"][n_train:],
+    }
+
+
+@dataclass
+class UQCellResult:
+    """One (model, method, seed) grid cell's metrics."""
+
+    model: str
+    method: str
+    seed: int
+    metrics: UQMetrics
+
+
+def run_uq_cell(model: str, method: str, seed: int,
+                data: Dict[str, np.ndarray]) -> UQCellResult:
+    """Task payload for stage 2: fit one UQ method and evaluate it."""
+    uq = create_uq_method(method, seed=seed)
+    uq.fit(data["X_train"], data["y_train"])
+    probs = uq.predict_proba(data["X_test"])
+    metrics = evaluate_probs(probs, data["y_test"])
+    return UQCellResult(model=model, method=method, seed=seed,
+                        metrics=metrics)
+
+
+@dataclass
+class UQSummaryRow:
+    """Aggregated (model, method) comparison row."""
+
+    model: str
+    method: str
+    n_seeds: int
+    accuracy_mean: float
+    accuracy_std: float
+    nll_mean: float
+    ece_mean: float
+    brier_mean: float
+
+
+@dataclass
+class UQResult:
+    """Pipeline summary (context key ``"result"``)."""
+
+    cells: List[UQCellResult]
+    summary: List[UQSummaryRow]
+
+    def best_method_for(self, model: str, metric: str = "ece_mean") -> str:
+        rows = [r for r in self.summary if r.model == model]
+        if not rows:
+            raise KeyError(f"no rows for model {model!r}")
+        return min(rows, key=lambda r: getattr(r, metric)).method
+
+
+def build_uq_pipeline(config: Optional[UQConfig] = None) -> Pipeline:
+    """Construct the three-stage UQ pipeline."""
+    config = config or UQConfig()
+    config.validate()
+
+    def build_stage1(context: Dict[str, Any]) -> List[TaskDescription]:
+        return [
+            TaskDescription(name=f"uq-data-{model}",
+                            function=prepare_model_data,
+                            fn_args=(model, config), cores_per_rank=1)
+            for model in config.models]
+
+    def collect_stage1(context: Dict[str, Any], tasks) -> None:
+        context["data"] = {
+            t.description.name.removeprefix("uq-data-"): t.result
+            for t in tasks if t.state == TaskState.DONE}
+
+    def build_stage2(context: Dict[str, Any]) -> List[TaskDescription]:
+        data = context["data"]
+        descriptions = []
+        for model in config.models:          # outer level
+            for seed in config.seeds:        # middle level
+                for method in config.methods:  # inner level
+                    descriptions.append(TaskDescription(
+                        name=f"uq-{model}-{method}-s{seed}",
+                        function=run_uq_cell,
+                        fn_args=(model, method, seed, data[model]),
+                        cores_per_rank=1, gpus_per_rank=1))
+        return descriptions
+
+    def collect_stage2(context: Dict[str, Any], tasks) -> None:
+        context["cells"] = [t.result for t in tasks
+                            if t.state == TaskState.DONE]
+
+    def build_stage3(context: Dict[str, Any]) -> List[TaskDescription]:
+        return [TaskDescription(
+            name="uq-aggregate", function=aggregate_cells,
+            fn_args=(context["cells"],), cores_per_rank=1,
+            gpus_per_rank=1)]
+
+    def collect_stage3(context: Dict[str, Any], tasks) -> None:
+        (task,) = tasks
+        context["result"] = UQResult(cells=context["cells"],
+                                     summary=task.result)
+
+    return Pipeline(name="uncertainty-quantification", stages=[
+        StageSpec(name="data-preparation", resource_type="CPU",
+                  as_service=True, build=build_stage1,
+                  collect=collect_stage1),
+        StageSpec(name="uq-methods-three-level", resource_type="GPU",
+                  as_service=False, build=build_stage2,
+                  collect=collect_stage2),
+        StageSpec(name="post-processing", resource_type="GPU",
+                  as_service=True, build=build_stage3,
+                  collect=collect_stage3),
+    ])
+
+
+def aggregate_cells(cells: List[UQCellResult]) -> List[UQSummaryRow]:
+    """Task payload for stage 3: mean/std over seeds per (model, method)."""
+    groups: Dict[Tuple[str, str], List[UQCellResult]] = {}
+    for cell in cells:
+        groups.setdefault((cell.model, cell.method), []).append(cell)
+    rows: List[UQSummaryRow] = []
+    for (model, method), members in sorted(groups.items()):
+        acc = np.array([m.metrics.accuracy for m in members])
+        nll = np.array([m.metrics.nll for m in members])
+        ece = np.array([m.metrics.ece for m in members])
+        brier = np.array([m.metrics.brier for m in members])
+        rows.append(UQSummaryRow(
+            model=model, method=method, n_seeds=len(members),
+            accuracy_mean=float(acc.mean()), accuracy_std=float(acc.std()),
+            nll_mean=float(nll.mean()), ece_mean=float(ece.mean()),
+            brier_mean=float(brier.mean())))
+    return rows

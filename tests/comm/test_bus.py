@@ -1,0 +1,210 @@
+"""Tests for the in-process message bus (REQ/REP, PUB/SUB, latency)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import MessageBus
+from repro.hpc import DELTA, R3, Fabric
+from repro.sim import RngHub, SimulationEngine
+
+
+@pytest.fixture
+def setup():
+    engine = SimulationEngine()
+    fabric = Fabric(RngHub(0).stream("fabric"))
+    fabric.add_platform(DELTA)
+    fabric.add_platform(R3)
+    bus = MessageBus(engine, fabric)
+    return engine, fabric, bus
+
+
+class TestReqRep:
+    def test_round_trip(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("svc", platform="delta")
+        client = bus.connect(platform="delta")
+
+        def service():
+            msg = yield server.recv()
+            server.reply(msg, payload=msg.payload * 2)
+
+        result = {}
+        def requester():
+            reply = yield client.request(server.address, 21)
+            result["value"] = reply.payload
+
+        engine.process(service())
+        engine.process(requester())
+        engine.run()
+        assert result["value"] == 42
+
+    def test_request_latency_is_charged(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("svc", platform="r3")
+        client = bus.connect(platform="delta")
+
+        def service():
+            msg = yield server.recv()
+            server.reply(msg, payload="pong")
+
+        done = {}
+        def requester():
+            t0 = engine.now
+            yield client.request(server.address, "ping")
+            done["rtt"] = engine.now - t0
+
+        engine.process(service())
+        engine.process(requester())
+        engine.run()
+        # Two WAN legs at ~0.47 ms each.
+        assert 0.5e-3 < done["rtt"] < 2e-3
+
+    def test_local_rtt_below_remote_rtt(self, setup):
+        engine, _, bus = setup
+
+        def measure(server_platform, name):
+            server = bus.bind(name, platform=server_platform)
+            client = bus.connect(platform="delta")
+            def service():
+                while True:
+                    msg = yield server.recv()
+                    server.reply(msg, "ok")
+            engine.process(service())
+            rtts = []
+            def requester():
+                for _ in range(50):
+                    t0 = engine.now
+                    yield client.request(server.address, "x")
+                    rtts.append(engine.now - t0)
+            engine.process(requester())
+            engine.run()
+            return np.mean(rtts)
+
+        local = measure("delta", "svc-local")
+        remote = measure("r3", "svc-remote")
+        assert remote > local * 3
+
+    def test_concurrent_requests_matched_by_correlation(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("svc", platform="delta")
+        client = bus.connect(platform="delta")
+
+        def service():
+            while True:
+                msg = yield server.recv()
+                server.reply(msg, payload=("echo", msg.payload))
+
+        results = []
+        def requester(i):
+            reply = yield client.request(server.address, i)
+            results.append(reply.payload)
+
+        engine.process(service())
+        for i in range(10):
+            engine.process(requester(i))
+        engine.run()
+        assert sorted(results) == [("echo", i) for i in range(10)]
+
+    def test_fire_and_forget_send(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("svc", platform="delta")
+        client = bus.connect(platform="delta")
+        got = []
+        def service():
+            msg = yield server.recv()
+            got.append(msg.payload)
+        engine.process(service())
+        client.send(server.address, {"cmd": "stop"})
+        engine.run()
+        assert got == [{"cmd": "stop"}]
+
+    def test_message_to_unbound_endpoint_dropped(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("svc", platform="delta")
+        client = bus.connect(platform="delta")
+        address = server.address
+        server.close()
+        client.send(address, "ghost")
+        engine.run()
+        assert bus.dropped_count == 1
+
+    def test_duplicate_bind_rejected(self, setup):
+        _, _, bus = setup
+        bus.bind("svc", platform="delta")
+        with pytest.raises(ValueError, match="already bound"):
+            bus.bind("svc", platform="delta")
+
+    def test_bind_unknown_platform_rejected(self, setup):
+        _, _, bus = setup
+        with pytest.raises(KeyError):
+            bus.bind("svc", platform="not-a-platform")
+
+    def test_lookup(self, setup):
+        _, _, bus = setup
+        server = bus.bind("svc", platform="delta")
+        assert bus.lookup("svc") == server.address
+        assert bus.lookup("nope") is None
+
+    def test_serve_helper(self, setup):
+        engine, _, bus = setup
+        server = bus.bind("echo", platform="delta")
+        bus.serve(server, handler=lambda msg: msg.payload.upper())
+        client = bus.connect(platform="delta")
+        out = {}
+        def requester():
+            reply = yield client.request(server.address, "hello")
+            out["r"] = reply.payload
+        engine.process(requester())
+        engine.run()
+        assert out["r"] == "HELLO"
+
+
+class TestPubSub:
+    def test_publish_reaches_all_subscribers(self, setup):
+        engine, _, bus = setup
+        sub1 = bus.subscribe("state", platform="delta")
+        sub2 = bus.subscribe("state", platform="delta")
+        got = []
+        def listener(sub, tag):
+            msg = yield sub.get()
+            got.append((tag, msg.payload))
+        engine.process(listener(sub1, "a"))
+        engine.process(listener(sub2, "b"))
+        fanout = bus.publish("state", {"task": "t1", "state": "DONE"})
+        engine.run()
+        assert fanout == 2
+        assert sorted(tag for tag, _ in got) == ["a", "b"]
+
+    def test_topic_isolation(self, setup):
+        engine, _, bus = setup
+        sub = bus.subscribe("control", platform="delta")
+        bus.publish("state", "irrelevant")
+        engine.run()
+        assert len(sub.inbox) == 0
+
+    def test_cancelled_subscription_stops_delivery(self, setup):
+        engine, _, bus = setup
+        sub = bus.subscribe("state", platform="delta")
+        sub.cancel()
+        bus.publish("state", "late")
+        engine.run()
+        assert len(sub.inbox) == 0
+
+    def test_publish_without_subscribers_is_noop(self, setup):
+        _, _, bus = setup
+        assert bus.publish("void", 1) == 0
+
+    def test_message_timestamps_recorded(self, setup):
+        engine, _, bus = setup
+        sub = bus.subscribe("t", platform="delta")
+        sender = bus.connect(platform="r3")
+        bus.publish("t", "x", sender=sender.address)
+        got = []
+        def listener():
+            msg = yield sub.get()
+            got.append(msg)
+        engine.process(listener())
+        engine.run()
+        (msg,) = got
+        assert msg.sent_at == 0.0
+        assert msg.received_at > msg.sent_at  # WAN latency applied

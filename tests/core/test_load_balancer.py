@@ -1,0 +1,102 @@
+"""Tests for load-balancing policies."""
+
+import pytest
+
+from repro.comm.message import Address
+from repro.core import (
+    LeastLoadedBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    create_balancer,
+)
+from repro.sim import RngHub
+
+
+TARGETS = [Address(f"svc.{i}", "delta") for i in range(4)]
+
+
+class TestRoundRobin:
+    def test_cycles_through_targets(self):
+        lb = RoundRobinBalancer()
+        picks = [lb.pick(TARGETS) for _ in range(8)]
+        assert picks == TARGETS + TARGETS
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBalancer().pick([])
+
+    def test_handles_target_list_growth(self):
+        lb = RoundRobinBalancer()
+        lb.pick(TARGETS[:2])
+        lb.pick(TARGETS[:2])
+        pick = lb.pick(TARGETS)  # now 4 targets
+        assert pick in TARGETS
+
+
+class TestRandom:
+    def test_uniformish_distribution(self):
+        lb = RandomBalancer(RngHub(0).stream("lb"))
+        counts = {t: 0 for t in TARGETS}
+        for _ in range(4000):
+            counts[lb.pick(TARGETS)] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_deterministic_with_seed(self):
+        a = RandomBalancer(RngHub(5).stream("lb"))
+        b = RandomBalancer(RngHub(5).stream("lb"))
+        assert [a.pick(TARGETS) for _ in range(10)] == \
+            [b.pick(TARGETS) for _ in range(10)]
+
+
+class TestLeastLoaded:
+    def test_prefers_idle_instance(self):
+        lb = LeastLoadedBalancer()
+        lb.record_start(TARGETS[0])
+        lb.record_start(TARGETS[1])
+        pick = lb.pick(TARGETS[:3])
+        assert pick == TARGETS[2]
+
+    def test_ties_rotate(self):
+        lb = LeastLoadedBalancer()
+        picks = {lb.pick(TARGETS) for _ in range(4)}
+        assert picks == set(TARGETS)
+
+    def test_done_decrements(self):
+        lb = LeastLoadedBalancer()
+        lb.record_start(TARGETS[0])
+        lb.record_done(TARGETS[0])
+        assert lb.load_of(TARGETS[0]) == 0
+
+    def test_done_never_goes_negative(self):
+        lb = LeastLoadedBalancer()
+        lb.record_done(TARGETS[0])
+        assert lb.load_of(TARGETS[0]) == 0
+
+    def test_skews_away_from_slow_instance(self):
+        lb = LeastLoadedBalancer()
+        # target 0 is "slow": requests to it never complete
+        picks = []
+        for _ in range(12):
+            t = lb.pick(TARGETS[:2])
+            lb.record_start(t)
+            picks.append(t)
+            if t != TARGETS[0]:
+                lb.record_done(t)
+        assert picks.count(TARGETS[0]) < picks.count(TARGETS[1])
+
+
+class TestFactory:
+    def test_create_known(self):
+        assert create_balancer("round-robin").name == "round-robin"
+        assert create_balancer("least-loaded").name == "least-loaded"
+        assert create_balancer(
+            "random", rng=RngHub(0).stream("x")).name == "random"
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError):
+            create_balancer("random")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            create_balancer("quantum")

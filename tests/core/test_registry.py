@@ -1,0 +1,140 @@
+"""Tests for the endpoint registry."""
+
+import pytest
+
+from repro.comm.message import Address
+from repro.core import EndpointRegistry, ServiceInfo
+from repro.pilot import Session
+
+
+@pytest.fixture
+def env():
+    with Session(seed=2) as session:
+        registry = EndpointRegistry(session, platform="delta")
+        client = session.bus.connect("delta")
+        yield session, registry, client
+
+
+def make_info(name="svc-ep", model="noop", platform="delta"):
+    return ServiceInfo(uid=f"service.{name}", name=name,
+                       address=Address(name, platform), model=model,
+                       backend="ollama", platform=platform)
+
+
+class TestRegistryOps:
+    def test_register_and_lookup_over_bus(self, env):
+        session, registry, client = env
+        info = make_info()
+        replies = []
+
+        def work():
+            r1 = yield client.request(registry.address,
+                                      {"op": "register", "info": info})
+            replies.append(r1.payload)
+            r2 = yield client.request(registry.address,
+                                      {"op": "lookup", "name": "svc-ep"})
+            replies.append(r2.payload)
+
+        session.run(until=session.engine.process(work()))
+        assert replies[0]["ok"]
+        assert replies[1]["ok"]
+        assert replies[1]["info"].uid == info.uid
+        assert replies[1]["info"].registered_at > 0
+
+    def test_register_charges_processing_cost(self, env):
+        session, registry, client = env
+
+        def work():
+            t0 = session.now
+            yield client.request(registry.address,
+                                 {"op": "register", "info": make_info()})
+            return session.now - t0
+
+        elapsed = session.run(until=session.engine.process(work()))
+        assert 0.4 < elapsed < 1.5  # publish processing ~0.8 s
+
+    def test_lookup_is_cheap(self, env):
+        session, registry, client = env
+
+        def work():
+            yield client.request(registry.address,
+                                 {"op": "register", "info": make_info()})
+            t0 = session.now
+            yield client.request(registry.address,
+                                 {"op": "lookup", "name": "svc-ep"})
+            return session.now - t0
+
+        elapsed = session.run(until=session.engine.process(work()))
+        assert elapsed < 0.01
+
+    def test_deregister(self, env):
+        session, registry, client = env
+
+        def work():
+            yield client.request(registry.address,
+                                 {"op": "register", "info": make_info()})
+            r = yield client.request(registry.address,
+                                     {"op": "deregister", "name": "svc-ep"})
+            return r.payload
+
+        reply = session.run(until=session.engine.process(work()))
+        assert reply["ok"]
+        assert len(registry) == 0
+
+    def test_deregister_unknown_returns_not_ok(self, env):
+        session, registry, client = env
+
+        def work():
+            r = yield client.request(registry.address,
+                                     {"op": "deregister", "name": "ghost"})
+            return r.payload
+
+        assert not session.run(until=session.engine.process(work()))["ok"]
+
+    def test_list_over_bus(self, env):
+        session, registry, client = env
+
+        def work():
+            yield client.request(registry.address,
+                                 {"op": "register",
+                                  "info": make_info("a", "noop")})
+            yield client.request(registry.address,
+                                 {"op": "register",
+                                  "info": make_info("b", "llama-8b")})
+            r = yield client.request(registry.address, {"op": "list"})
+            return r.payload
+
+        reply = session.run(until=session.engine.process(work()))
+        assert {s.name for s in reply["services"]} == {"a", "b"}
+
+    def test_unknown_op_rejected(self, env):
+        session, registry, client = env
+
+        def work():
+            r = yield client.request(registry.address, {"op": "explode"})
+            return r.payload
+
+        reply = session.run(until=session.engine.process(work()))
+        assert not reply["ok"]
+
+
+class TestInProcessReads:
+    def test_list_filters(self, env):
+        session, registry, client = env
+
+        def work():
+            yield client.request(
+                registry.address,
+                {"op": "register", "info": make_info("a", "noop", "delta")})
+            yield client.request(
+                registry.address,
+                {"op": "register", "info": make_info("b", "llama-8b", "r3")})
+
+        session.run(until=session.engine.process(work()))
+        assert len(registry.list_services()) == 2
+        assert [s.name for s in registry.list_services(model="noop")] == ["a"]
+        assert [s.name for s in registry.list_services(platform="r3")] == ["b"]
+
+    def test_lookup_missing_returns_none(self, env):
+        _, registry, _ = env
+        assert registry.lookup("missing") is None

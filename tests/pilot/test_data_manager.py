@@ -1,0 +1,76 @@
+"""Tests for the DataManager staging model."""
+
+import pytest
+
+from repro.pilot import DataManager, Session, StagingDirective
+
+
+@pytest.fixture
+def session():
+    with Session(seed=4) as s:
+        yield s
+
+
+@pytest.fixture
+def dmgr(session):
+    return DataManager(session, client_platform="localhost")
+
+
+class TestStageDurations:
+    def test_link_is_free(self, session, dmgr):
+        directive = StagingDirective(action="link", source="a", target="b")
+        assert dmgr.stage_duration(directive, "delta") == 0.0
+
+    def test_transfer_charges_wan_bandwidth(self, session, dmgr):
+        directive = StagingDirective(action="transfer", source="a",
+                                     target="b", size_bytes=int(2e9))
+        duration = dmgr.stage_duration(directive, "delta")
+        assert duration > 1.5  # 2 GB over ~1 GB/s WAN
+
+    def test_copy_is_intra_platform(self, session, dmgr):
+        big = int(5e9)
+        copy = StagingDirective(action="copy", source="a", target="b",
+                                size_bytes=big)
+        transfer = StagingDirective(action="transfer", source="a",
+                                    target="b", size_bytes=big)
+        assert dmgr.stage_duration(copy, "delta") < \
+            dmgr.stage_duration(transfer, "delta")
+
+
+class TestStagingProcess:
+    def test_sequential_directives_accumulate(self, session, dmgr):
+        directives = [
+            StagingDirective(source=f"f{i}", target=f"g{i}",
+                             size_bytes=int(1e9)) for i in range(3)]
+
+        def run():
+            count = yield from dmgr.stage(directives, "delta", "task.x",
+                                          "stage_in")
+            return count
+
+        proc = session.engine.process(run())
+        count = session.run(until=proc)
+        assert count == 3
+        assert session.now > 2.5  # ~3 x 1s transfers
+        assert dmgr.bytes_transferred == pytest.approx(3e9)
+
+    def test_profile_events_recorded(self, session, dmgr):
+        directives = [StagingDirective(source="a", target="b",
+                                       size_bytes=1000)]
+
+        def run():
+            yield from dmgr.stage(directives, "delta", "task.y", "stage_out")
+
+        session.run(until=session.engine.process(run()))
+        duration = session.profiler.duration("task.y", "stage_out_start",
+                                             "stage_out_stop")
+        assert duration is not None and duration >= 0
+
+    def test_empty_directives_instant(self, session, dmgr):
+        def run():
+            count = yield from dmgr.stage([], "delta", "task.z", "stage_in")
+            return count
+
+        proc = session.engine.process(run())
+        assert session.run(until=proc) == 0
+        assert session.now == 0.0

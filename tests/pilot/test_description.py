@@ -1,0 +1,129 @@
+"""Tests for pilot/task/service descriptions and staging directives."""
+
+import pytest
+
+from repro.pilot import (
+    PilotDescription,
+    ServiceDescription,
+    StagingDirective,
+    TaskDescription,
+)
+from repro.utils.config import ConfigError
+
+
+class TestPilotDescription:
+    def test_minimal(self):
+        d = PilotDescription(resource="delta", nodes=4)
+        assert d.resource == "delta"
+        assert d.runtime_s == 3600.0
+
+    def test_resource_required(self):
+        with pytest.raises(ConfigError, match="resource"):
+            PilotDescription(nodes=1)
+
+    def test_some_size_required(self):
+        with pytest.raises(ConfigError, match="nodes, cores or gpus"):
+            PilotDescription(resource="delta")
+
+    def test_required_nodes_from_cores(self):
+        d = PilotDescription(resource="delta", cores=256)
+        assert d.required_nodes(cores_per_node=64, gpus_per_node=4) == 4
+
+    def test_required_nodes_from_gpus(self):
+        d = PilotDescription(resource="delta", gpus=16)
+        assert d.required_nodes(cores_per_node=64, gpus_per_node=4) == 4
+
+    def test_required_nodes_takes_max(self):
+        d = PilotDescription(resource="delta", cores=64, gpus=16)
+        assert d.required_nodes(cores_per_node=64, gpus_per_node=4) == 4
+
+    def test_required_nodes_rounds_up(self):
+        d = PilotDescription(resource="x", cores=65)
+        assert d.required_nodes(cores_per_node=64, gpus_per_node=0) == 2
+
+    def test_gpus_on_gpuless_platform_rejected(self):
+        d = PilotDescription(resource="x", gpus=1)
+        with pytest.raises(ConfigError, match="GPU-less"):
+            d.required_nodes(cores_per_node=64, gpus_per_node=0)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown key"):
+            PilotDescription(resource="delta", nodes=1, walltime=60)
+
+
+class TestTaskDescription:
+    def test_defaults(self):
+        d = TaskDescription(executable="/bin/sim")
+        assert d.ranks == 1
+        assert d.cores_per_rank == 1
+        assert d.gpus_per_rank == 0
+        assert d.priority == 0
+
+    def test_function_payload(self):
+        d = TaskDescription(function=sum, fn_args=([1, 2, 3],))
+        assert d.function([1, 2]) == 3
+
+    def test_non_callable_function_rejected(self):
+        with pytest.raises(ConfigError, match="callable"):
+            TaskDescription(function="not-callable")
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            TaskDescription(ranks=0)
+        with pytest.raises(ConfigError):
+            TaskDescription(cores_per_rank=0)
+        with pytest.raises(ConfigError):
+            TaskDescription(gpus_per_rank=-1)
+        with pytest.raises(ConfigError):
+            TaskDescription(duration_s=-1.0)
+
+    def test_staging_dicts_normalised(self):
+        d = TaskDescription(
+            executable="x",
+            input_staging=[{"source": "a", "target": "b",
+                            "size_bytes": 100}])
+        assert isinstance(d.input_staging[0], StagingDirective)
+        assert d.input_staging[0].size_bytes == 100
+
+    def test_bad_staging_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            TaskDescription(input_staging=["not-a-directive"])
+
+    def test_as_dict_roundtrip(self):
+        d = TaskDescription(executable="x", ranks=2, cores_per_rank=4)
+        d2 = TaskDescription(d.as_dict())
+        assert d2.ranks == 2 and d2.cores_per_rank == 4
+
+
+class TestServiceDescription:
+    def test_service_defaults_match_paper(self):
+        d = ServiceDescription(model="llama-8b")
+        assert d.backend == "ollama"
+        assert d.max_concurrency == 1     # single-threaded services (§IV)
+        assert d.gpus_per_rank == 1       # one GPU per service (Exp 1)
+        assert d.priority > 0             # services before tasks
+
+    def test_is_a_task_description(self):
+        assert isinstance(ServiceDescription(), TaskDescription)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceDescription(startup_timeout_s=0)
+        with pytest.raises(ConfigError):
+            ServiceDescription(max_concurrency=0)
+        with pytest.raises(ConfigError):
+            ServiceDescription(heartbeat_interval_s=0)
+
+
+class TestStagingDirective:
+    def test_actions_validated(self):
+        with pytest.raises(ConfigError, match="action"):
+            StagingDirective(action="teleport")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            StagingDirective(size_bytes=-5)
+
+    def test_link_default_size_zero(self):
+        d = StagingDirective(action="link", source="a", target="b")
+        assert d.size_bytes == 0

@@ -1,0 +1,92 @@
+"""Tests for pilot lifecycle management."""
+
+import pytest
+
+from repro.pilot import PilotDescription, PilotManager, PilotState, Session
+
+
+@pytest.fixture
+def session():
+    with Session(seed=1) as s:
+        yield s
+
+
+@pytest.fixture
+def pmgr(session):
+    return PilotManager(session)
+
+
+class TestPilotLifecycle:
+    def test_pilot_becomes_active(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=4, runtime_s=3600))
+        session.run(until=pilot.became_active)
+        assert pilot.state == PilotState.PMGR_ACTIVE
+        assert pilot.n_nodes == 4
+        assert pilot.agent is not None
+
+    def test_pilot_nodes_have_platform_shape(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", gpus=16))
+        session.run(until=pilot.became_active)
+        assert pilot.nodes.total_free_gpus == 16
+        assert pilot.nodes.total_free_cores == 4 * 64
+
+    def test_activation_takes_bootstrap_time(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=1))
+        session.run(until=pilot.became_active)
+        assert session.now > 0.5  # agent bootstrap cost was charged
+
+    def test_walltime_expiry_fails_pilot(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=1, runtime_s=60.0))
+        session.run(until=pilot.finished)
+        assert pilot.state == PilotState.FAILED
+        assert session.now >= 60.0
+
+    def test_complete_pilot_releases_allocation(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e6))
+        session.run(until=pilot.became_active)
+        pmgr.complete_pilot(pilot)
+        session.run(until=pilot.finished)
+        assert pilot.state == PilotState.DONE
+        assert session.batch_system("delta").free_nodes == \
+            session.platform("delta").nodes
+
+    def test_cancel_active_pilot(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2))
+        session.run(until=pilot.became_active)
+        pmgr.cancel_pilots(pilot)
+        session.run(until=pilot.finished)
+        assert pilot.state == PilotState.CANCELED
+
+    def test_cancel_pending_pilot(self, session, pmgr):
+        spec = session.platform("delta")
+        blocker = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=spec.nodes))
+        (queued,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=spec.nodes))
+        session.run(until=blocker[0].became_active)
+        pmgr.cancel_pilots(queued)
+        session.run(until=queued.finished)
+        assert queued.state == PilotState.CANCELED
+        assert not queued.became_active.ok
+
+    def test_multiple_pilots_on_different_platforms(self, session, pmgr):
+        pilots = pmgr.submit_pilots([
+            PilotDescription(resource="delta", nodes=1),
+            PilotDescription(resource="frontier", nodes=2),
+        ])
+        session.run(until=pmgr.wait_active(pilots))
+        assert all(p.is_active for p in pilots)
+        assert pilots[1].nodes.total_free_gpus == 16
+
+    def test_free_capacity_reporting(self, session, pmgr):
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=1))
+        assert pilot.free_capacity() == {"cores": 0, "gpus": 0}
+        session.run(until=pilot.became_active)
+        assert pilot.free_capacity() == {"cores": 64, "gpus": 4}

@@ -1,0 +1,66 @@
+"""Tests for the profile-event store."""
+
+import numpy as np
+
+from repro.pilot import Profiler
+
+
+class TestProfiler:
+    def test_record_and_count(self):
+        p = Profiler()
+        p.record(1.0, "task.0000", "exec_start", "agent")
+        p.record(2.5, "task.0000", "exec_stop", "agent")
+        assert len(p) == 2
+
+    def test_timestamp_lookup(self):
+        p = Profiler()
+        p.record(3.0, "t", "a")
+        assert p.timestamp("t", "a") == 3.0
+        assert p.timestamp("t", "missing") is None
+        assert p.timestamp("ghost", "a") is None
+
+    def test_first_timestamp_wins(self):
+        p = Profiler()
+        p.record(1.0, "t", "a")
+        p.record(9.0, "t", "a")
+        assert p.timestamp("t", "a") == 1.0
+
+    def test_duration(self):
+        p = Profiler()
+        p.record(1.0, "t", "start")
+        p.record(4.0, "t", "stop")
+        assert p.duration("t", "start", "stop") == 3.0
+        assert p.duration("t", "start", "missing") is None
+
+    def test_durations_vectorised(self):
+        p = Profiler()
+        for i, (t0, t1) in enumerate([(0, 1), (0, 2), (0, 4)]):
+            p.record(t0, f"t{i}", "s")
+            p.record(t1, f"t{i}", "e")
+        p.record(0.0, "incomplete", "s")  # no stop event
+        out = p.durations([f"t{i}" for i in range(3)] + ["incomplete"],
+                          "s", "e")
+        assert np.array_equal(out, [1.0, 2.0, 4.0])
+
+    def test_events_filtering(self):
+        p = Profiler()
+        p.record(1.0, "a", "x")
+        p.record(2.0, "b", "x")
+        p.record(3.0, "a", "y")
+        assert len(p.events(uid="a")) == 2
+        assert len(p.events(event="x")) == 2
+        assert len(p.events(uid="a", event="x")) == 1
+
+    def test_uids_with_event_ordered(self):
+        p = Profiler()
+        p.record(1.0, "b", "launch")
+        p.record(2.0, "a", "launch")
+        p.record(3.0, "b", "launch")
+        assert p.uids_with_event("launch") == ["b", "a"]
+
+    def test_clear(self):
+        p = Profiler()
+        p.record(1.0, "t", "x")
+        p.clear()
+        assert len(p) == 0
+        assert p.timestamp("t", "x") is None

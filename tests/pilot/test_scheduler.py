@@ -1,0 +1,167 @@
+"""Tests for the agent scheduler (placement, priority, colocation)."""
+
+import pytest
+
+from repro.hpc import NodeList
+from repro.pilot import Session, TaskDescription
+from repro.pilot.agent.scheduler import AgentScheduler, SchedulerError
+from repro.pilot.task import Task
+
+
+@pytest.fixture
+def session():
+    with Session(seed=0) as s:
+        yield s
+
+
+def make_scheduler(session, n_nodes=2, cores=8, gpus=4, mem=64.0):
+    nodes = NodeList.build(n_nodes, cores, gpus, mem)
+    return AgentScheduler(session, nodes, "pilot.test"), nodes
+
+
+def make_task(session, **kwargs):
+    desc = TaskDescription(executable="x", **kwargs)
+    return Task(session, desc, session.ids.generate("task"))
+
+
+class TestPlacement:
+    def test_single_rank_placement(self, session):
+        sched, nodes = make_scheduler(session)
+        task = make_task(session, cores_per_rank=2, gpus_per_rank=1)
+        grant = sched.schedule(task)
+        slots = session.run(until=grant)
+        assert len(slots) == 1
+        assert slots[0].n_cores == 2 and slots[0].n_gpus == 1
+        assert nodes.total_free_cores == 14
+
+    def test_multi_rank_atomic_placement(self, session):
+        sched, nodes = make_scheduler(session, n_nodes=2, cores=8)
+        task = make_task(session, ranks=4, cores_per_rank=4)
+        slots = session.run(until=sched.schedule(task))
+        assert len(slots) == 4
+        assert nodes.total_free_cores == 0
+
+    def test_queue_until_release(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=4)
+        t1 = make_task(session, cores_per_rank=4)
+        t2 = make_task(session, cores_per_rank=4)
+        g1 = sched.schedule(t1)
+        g2 = sched.schedule(t2)
+        session.run()
+        assert g1.processed and not g2.triggered
+        assert sched.queue_length == 1
+        sched.release(t1)
+        session.run()
+        assert g2.processed
+
+    def test_infeasible_request_fails_fast(self, session):
+        sched, _ = make_scheduler(session, n_nodes=2, cores=4, gpus=1)
+        too_wide = make_task(session, cores_per_rank=5)  # no node has 5 cores
+        grant = sched.schedule(too_wide)
+        with pytest.raises(SchedulerError, match="never fit"):
+            session.run(until=grant)
+
+    def test_too_many_total_cores_fails_fast(self, session):
+        sched, _ = make_scheduler(session, n_nodes=2, cores=4)
+        task = make_task(session, ranks=3, cores_per_rank=4)
+        grant = sched.schedule(task)
+        with pytest.raises(SchedulerError):
+            session.run(until=grant)
+
+    def test_partial_placement_rolls_back(self, session):
+        # 2 nodes x 4 cores; a 2-rank x 3-core task fits nowhere together
+        # with an existing 2-core task on each node.
+        sched, nodes = make_scheduler(session, n_nodes=2, cores=4)
+        a = make_task(session, cores_per_rank=2)
+        b = make_task(session, cores_per_rank=2)
+        session.run(until=sched.schedule(a))
+        session.run(until=sched.schedule(b))
+        wide = make_task(session, ranks=2, cores_per_rank=3)
+        sched.schedule(wide)
+        session.run()
+        # nothing leaked: free cores unchanged by failed placement attempts
+        assert nodes.total_free_cores == 4
+        assert sched.queue_length == 1
+
+    def test_double_schedule_rejected(self, session):
+        sched, _ = make_scheduler(session)
+        task = make_task(session)
+        session.run(until=sched.schedule(task))
+        grant2 = sched.schedule(task)
+        with pytest.raises(SchedulerError, match="already holds"):
+            session.run(until=grant2)
+
+    def test_release_unknown_task_rejected(self, session):
+        sched, _ = make_scheduler(session)
+        with pytest.raises(SchedulerError, match="holds no slots"):
+            sched.release(make_task(session))
+
+    def test_withdraw_queued_request(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=2)
+        t1 = make_task(session, cores_per_rank=2)
+        t2 = make_task(session, cores_per_rank=2)
+        sched.schedule(t1)
+        sched.schedule(t2)
+        assert sched.withdraw(t2)
+        assert not sched.withdraw(t2)
+        assert sched.queue_length == 0
+
+
+class TestPriority:
+    def test_higher_priority_served_first(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=2)
+        blocker = make_task(session, cores_per_rank=2)
+        session.run(until=sched.schedule(blocker))
+        low = make_task(session, cores_per_rank=2, priority=0)
+        high = make_task(session, cores_per_rank=2, priority=100)
+        g_low = sched.schedule(low)
+        g_high = sched.schedule(high)
+        session.run()
+        sched.release(blocker)
+        session.run()
+        assert g_high.processed and not g_low.triggered
+
+    def test_small_low_priority_can_backfill(self, session):
+        # RP's continuous scheduler starts anything that fits.
+        sched, _ = make_scheduler(session, n_nodes=1, cores=4)
+        hog = make_task(session, cores_per_rank=3)
+        session.run(until=sched.schedule(hog))
+        big_high = make_task(session, cores_per_rank=4, priority=50)
+        small_low = make_task(session, cores_per_rank=1, priority=0)
+        sched.schedule(big_high)
+        g_small = sched.schedule(small_low)
+        session.run()
+        assert g_small.processed  # used the leftover core
+
+
+class TestColocation:
+    def test_colocated_tasks_share_node(self, session):
+        sched, _ = make_scheduler(session, n_nodes=4, cores=8)
+        tasks = [make_task(session, cores_per_rank=1,
+                           tags={"colocate": "groupA"}) for _ in range(3)]
+        grants = [sched.schedule(t) for t in tasks]
+        session.run()
+        node_ids = {g.value[0].node_index for g in grants}
+        assert len(node_ids) == 1
+
+    def test_uncolocated_tasks_spread_round_robin(self, session):
+        sched, _ = make_scheduler(session, n_nodes=4, cores=8)
+        grants = [sched.schedule(make_task(session, cores_per_rank=1))
+                  for _ in range(4)]
+        session.run()
+        node_ids = {g.value[0].node_index for g in grants}
+        assert len(node_ids) == 4
+
+    def test_full_colocation_node_queues_group_member(self, session):
+        sched, _ = make_scheduler(session, n_nodes=2, cores=2)
+        first = make_task(session, cores_per_rank=2,
+                          tags={"colocate": "g"})
+        session.run(until=sched.schedule(first))
+        second = make_task(session, cores_per_rank=1,
+                           tags={"colocate": "g"})
+        g2 = sched.schedule(second)
+        session.run()
+        assert not g2.triggered  # pinned node is full; waits
+        sched.release(first)
+        session.run()
+        assert g2.processed

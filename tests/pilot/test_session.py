@@ -1,0 +1,63 @@
+"""Tests for session wiring."""
+
+import numpy as np
+import pytest
+
+from repro.pilot import Session
+from repro.sim import RealtimeEngine, SimulationEngine
+
+
+class TestSession:
+    def test_virtual_mode_default(self):
+        with Session() as session:
+            assert isinstance(session.engine, SimulationEngine)
+            assert not isinstance(session.engine, RealtimeEngine)
+
+    def test_realtime_mode(self):
+        with Session(mode="realtime") as session:
+            assert isinstance(session.engine, RealtimeEngine)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Session(mode="hyperspeed")
+
+    def test_default_platforms_registered(self):
+        with Session() as session:
+            for name in ("frontier", "delta", "r3", "localhost"):
+                assert session.platform(name).name == name
+
+    def test_platform_subset(self):
+        with Session(platforms=["delta"]) as session:
+            session.platform("delta")
+            with pytest.raises(KeyError, match="not attached"):
+                session.platform("frontier")
+
+    def test_batch_system_lazy_and_cached(self):
+        with Session() as session:
+            b1 = session.batch_system("delta")
+            b2 = session.batch_system("delta")
+            assert b1 is b2
+
+    def test_rng_deterministic_across_sessions(self):
+        with Session(seed=42) as s1, Session(seed=42) as s2:
+            a = s1.rng("x").random(4)
+            b = s2.rng("x").random(4)
+            assert np.array_equal(a, b)
+
+    def test_run_advances_time(self):
+        with Session() as session:
+            session.engine.timeout(5.0)
+            session.run()
+            assert session.now == 5.0
+
+    def test_close_idempotent(self):
+        session = Session()
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_unique_uids(self):
+        with Session() as s1, Session() as s2:
+            # ids are per-session registries; sessions share global prefix
+            assert s1.ids.generate("task") == "task.0000"
+            assert s2.ids.generate("task") == "task.0000"

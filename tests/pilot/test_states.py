@@ -1,0 +1,92 @@
+"""Tests for the entity state models."""
+
+import pytest
+
+from repro.pilot.states import (
+    PILOT_MODEL,
+    SERVICE_MODEL,
+    TASK_MODEL,
+    PilotState,
+    ServiceState,
+    StateError,
+    TaskState,
+)
+
+
+class TestTaskModel:
+    def test_happy_path_is_legal(self):
+        chain = TaskState.ORDER
+        for current, target in zip(chain, chain[1:]):
+            TASK_MODEL.check(current, target)
+
+    def test_skipping_staging_is_legal(self):
+        TASK_MODEL.check(TaskState.TMGR_SCHEDULING, TaskState.AGENT_SCHEDULING)
+        TASK_MODEL.check(TaskState.AGENT_EXECUTING, TaskState.DONE)
+
+    def test_backward_transition_rejected(self):
+        with pytest.raises(StateError, match="illegal"):
+            TASK_MODEL.check(TaskState.AGENT_EXECUTING, TaskState.NEW)
+
+    def test_skip_forward_rejected(self):
+        with pytest.raises(StateError):
+            TASK_MODEL.check(TaskState.NEW, TaskState.AGENT_EXECUTING)
+
+    def test_any_state_may_fail_or_cancel(self):
+        for state in (TaskState.NEW, TaskState.AGENT_SCHEDULING,
+                      TaskState.TMGR_STAGING_OUTPUT):
+            TASK_MODEL.check(state, TaskState.FAILED)
+            TASK_MODEL.check(state, TaskState.CANCELED)
+
+    def test_final_states_are_sticky(self):
+        for final in TaskState.FINAL:
+            with pytest.raises(StateError, match="final"):
+                TASK_MODEL.check(final, TaskState.NEW)
+
+    def test_done_requires_execution_path(self):
+        with pytest.raises(StateError):
+            TASK_MODEL.check(TaskState.NEW, TaskState.DONE)
+
+    def test_noop_transition_rejected(self):
+        with pytest.raises(StateError, match="no-op"):
+            TASK_MODEL.check(TaskState.NEW, TaskState.NEW)
+
+    def test_is_final(self):
+        assert TASK_MODEL.is_final(TaskState.DONE)
+        assert not TASK_MODEL.is_final(TaskState.AGENT_EXECUTING)
+
+
+class TestPilotModel:
+    def test_happy_path(self):
+        PILOT_MODEL.check(PilotState.NEW, PilotState.PMGR_LAUNCHING)
+        PILOT_MODEL.check(PilotState.PMGR_LAUNCHING, PilotState.PMGR_ACTIVE)
+        PILOT_MODEL.check(PilotState.PMGR_ACTIVE, PilotState.DONE)
+
+    def test_launching_may_fail(self):
+        PILOT_MODEL.check(PilotState.PMGR_LAUNCHING, PilotState.FAILED)
+
+    def test_active_cannot_jump_to_new(self):
+        with pytest.raises(StateError):
+            PILOT_MODEL.check(PilotState.PMGR_ACTIVE, PilotState.NEW)
+
+
+class TestServiceModel:
+    def test_bootstrap_chain(self):
+        chain = [ServiceState.DEFINED, ServiceState.LAUNCHING,
+                 ServiceState.INITIALIZING, ServiceState.PUBLISHING,
+                 ServiceState.READY, ServiceState.STOPPING,
+                 ServiceState.STOPPED]
+        for current, target in zip(chain, chain[1:]):
+            SERVICE_MODEL.check(current, target)
+
+    def test_cannot_become_ready_without_publishing(self):
+        with pytest.raises(StateError):
+            SERVICE_MODEL.check(ServiceState.INITIALIZING, ServiceState.READY)
+
+    def test_failure_from_any_live_state(self):
+        for state in (ServiceState.LAUNCHING, ServiceState.READY,
+                      ServiceState.STOPPING):
+            SERVICE_MODEL.check(state, ServiceState.FAILED)
+
+    def test_stopped_requires_stopping(self):
+        with pytest.raises(StateError):
+            SERVICE_MODEL.check(ServiceState.READY, ServiceState.STOPPED)

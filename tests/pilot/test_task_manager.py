@@ -1,0 +1,204 @@
+"""End-to-end tests for task lifecycle through the TaskManager."""
+
+import pytest
+
+from repro.pilot import (
+    PilotDescription,
+    PilotManager,
+    Session,
+    TaskDescription,
+    TaskManager,
+    TaskState,
+)
+
+
+@pytest.fixture
+def env():
+    with Session(seed=3) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e6))
+        tmgr.add_pilots(pilot)
+        yield session, pmgr, tmgr, pilot
+
+
+class TestHappyPath:
+    def test_executable_task_completes(self, env):
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="/bin/sim", duration_s=10.0))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.DONE
+        assert task.exit_code == 0
+        assert task.runtime_s >= 10.0
+
+    def test_function_task_returns_result(self, env):
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(function=lambda a, b: a + b, fn_args=(2, 3),
+                            duration_s=1.0))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.DONE
+        assert task.result == 5
+
+    def test_many_tasks_share_pilot(self, env):
+        session, _, tmgr, pilot = env
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=5.0,
+                            cores_per_rank=1) for _ in range(100)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.state == TaskState.DONE for t in tasks)
+        # all slots returned
+        assert pilot.free_capacity()["cores"] == 128
+
+    def test_concurrency_bounded_by_capacity(self, env):
+        session, _, tmgr, _ = env
+        # 128 cores; 64-core tasks -> 2 at a time.
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=10.0,
+                            cores_per_rank=64) for _ in range(4)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        stops = sorted(session.profiler.timestamp(t.uid, "exec_stop")
+                       for t in tasks)
+        # two waves: second wave strictly later than first
+        assert stops[2] - stops[0] >= 10.0
+
+    def test_task_with_staging(self, env):
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0,
+            input_staging=[{"source": "in.dat", "target": "in.dat",
+                            "size_bytes": int(1e9)}],
+            output_staging=[{"source": "out.dat", "target": "out.dat",
+                             "size_bytes": int(1e6)}]))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.DONE
+        stage_in = session.profiler.duration(task.uid, "stage_in_start",
+                                             "stage_in_stop")
+        assert stage_in > 0.5  # 1 GB over ~1 GB/s WAN
+        assert tmgr.data_manager.bytes_transferred == pytest.approx(1.001e9)
+
+    def test_state_callbacks_fire_in_order(self, env):
+        session, _, tmgr, _ = env
+        seen = []
+        tmgr.register_callback(lambda t, s: seen.append(s))
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1.0))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert seen == [
+            TaskState.TMGR_SCHEDULING, TaskState.AGENT_SCHEDULING,
+            TaskState.AGENT_EXECUTING, TaskState.DONE]
+
+
+class TestFailureAndCancel:
+    def test_function_exception_fails_task(self, env):
+        session, _, tmgr, pilot = env
+        def boom():
+            raise ValueError("bad input")
+        (task,) = tmgr.submit_tasks(TaskDescription(function=boom))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.FAILED
+        assert isinstance(task.exception, ValueError)
+        assert pilot.free_capacity()["cores"] == 128  # slots released
+
+    def test_failure_does_not_affect_siblings(self, env):
+        session, _, tmgr, _ = env
+        def boom():
+            raise RuntimeError("x")
+        tasks = tmgr.submit_tasks([
+            TaskDescription(function=boom),
+            TaskDescription(executable="ok", duration_s=1.0),
+        ])
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert tasks[0].state == TaskState.FAILED
+        assert tasks[1].state == TaskState.DONE
+
+    def test_cancel_running_task(self, env):
+        session, _, tmgr, pilot = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1000.0))
+        session.run(until=10.0)
+        assert task.state == TaskState.AGENT_EXECUTING
+        tmgr.cancel_tasks(task)
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.CANCELED
+        assert session.now < 500.0
+        assert pilot.free_capacity()["cores"] == 128
+
+    def test_cancel_queued_task(self, env):
+        session, _, tmgr, _ = env
+        hog = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=100.0,
+                            cores_per_rank=64, ranks=2))
+        (queued,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1.0,
+                            cores_per_rank=64, ranks=2))
+        session.run(until=10.0)
+        tmgr.cancel_tasks(queued)
+        session.run(until=tmgr.wait_tasks([queued]))
+        assert queued.state == TaskState.CANCELED
+
+    def test_cancel_finished_task_is_noop(self, env):
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1.0))
+        session.run(until=tmgr.wait_tasks([task]))
+        tmgr.cancel_tasks(task)
+        assert task.state == TaskState.DONE
+
+    def test_pilot_death_cancels_tasks(self, env):
+        session, pmgr, tmgr, pilot = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1e5))
+        session.run(until=20.0)
+        pmgr.cancel_pilots(pilot)
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.CANCELED
+
+
+class TestPilotSelection:
+    def test_explicit_pilot_binding(self, env):
+        session, pmgr, tmgr, pilot1 = env
+        (pilot2,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=1, runtime_s=1e6))
+        tmgr.add_pilots(pilot2)
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=1.0,
+                            pilot=pilot2.uid) for _ in range(4)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.pilot_uid == pilot2.uid for t in tasks)
+
+    def test_unknown_pilot_binding_fails_task(self, env):
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", pilot="pilot.9999"))
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.FAILED
+
+    def test_round_robin_across_pilots(self, env):
+        session, pmgr, tmgr, pilot1 = env
+        (pilot2,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e6))
+        tmgr.add_pilots(pilot2)
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=1.0)
+            for _ in range(10)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        used = {t.pilot_uid for t in tasks}
+        assert used == {pilot1.uid, pilot2.uid}
+
+    def test_no_pilots_fails_task(self):
+        with Session() as session:
+            tmgr = TaskManager(session)
+            (task,) = tmgr.submit_tasks(TaskDescription(executable="x"))
+            session.run(until=tmgr.wait_tasks([task]))
+            assert task.state == TaskState.FAILED
+
+    def test_counts_by_state(self, env):
+        session, _, tmgr, _ = env
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=1.0)
+            for _ in range(3)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert tmgr.counts_by_state() == {TaskState.DONE: 3}

@@ -1,0 +1,60 @@
+"""Tests for the Markov text generator."""
+
+import pytest
+
+from repro.serving import MarkovGenerator, tokenize
+from repro.sim import RngHub
+
+
+@pytest.fixture
+def gen():
+    return MarkovGenerator()
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        assert tokenize("Hello, world.") == ["hello", ",", "world", "."]
+
+    def test_lowercases(self):
+        assert tokenize("HPC") == ["hpc"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestMarkovGenerator:
+    def test_generates_requested_length(self, gen):
+        rng = RngHub(0).stream("g")
+        text = gen.generate("the runtime", 50, rng)
+        assert len(text.split()) == 50
+
+    def test_deterministic_given_rng_state(self, gen):
+        a = gen.generate("hybrid workflows", 30, RngHub(7).stream("g"))
+        b = gen.generate("hybrid workflows", 30, RngHub(7).stream("g"))
+        assert a == b
+
+    def test_different_seeds_differ(self, gen):
+        a = gen.generate("hybrid workflows", 30, RngHub(1).stream("g"))
+        b = gen.generate("hybrid workflows", 30, RngHub(2).stream("g"))
+        assert a != b
+
+    def test_zero_tokens(self, gen):
+        assert gen.generate("x", 0, RngHub(0).stream("g")) == ""
+
+    def test_negative_tokens_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.generate("x", -1, RngHub(0).stream("g"))
+
+    def test_unknown_prompt_still_generates(self, gen):
+        text = gen.generate("zzzqqqxxx", 10, RngHub(0).stream("g"))
+        assert len(text.split()) == 10
+
+    def test_output_tokens_in_vocabulary(self, gen):
+        text = gen.generate("scientific computing", 100,
+                            RngHub(3).stream("g"))
+        vocab = set(gen._vocab)
+        assert all(tok in vocab for tok in text.split())
+
+    def test_tiny_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovGenerator("one")

@@ -1,0 +1,345 @@
+"""Unit tests for the DES engine core: events, processes, run modes."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationEngine,
+)
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+class TestTimeAdvance:
+    def test_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulationEngine(start_time=100.0).now == 100.0
+
+    def test_timeout_advances_clock(self, engine):
+        engine.timeout(5.0)
+        engine.run()
+        assert engine.now == 5.0
+
+    def test_run_until_deadline_advances_exactly(self, engine):
+        engine.timeout(3.0)
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_run_until_deadline_does_not_process_later_events(self, engine):
+        fired = []
+        def proc():
+            yield engine.timeout(5.0)
+            fired.append(engine.now)
+        engine.process(proc())
+        engine.run(until=2.0)
+        assert fired == []
+        engine.run(until=10.0)
+        assert fired == [5.0]
+
+    def test_run_until_past_deadline_raises(self, engine):
+        engine.run(until=5.0)
+        with pytest.raises(ValueError):
+            engine.run(until=1.0)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.timeout(-1.0)
+
+    def test_events_processed_in_time_order(self, engine):
+        order = []
+        def proc(delay, tag):
+            yield engine.timeout(delay)
+            order.append(tag)
+        engine.process(proc(3.0, "c"))
+        engine.process(proc(1.0, "a"))
+        engine.process(proc(2.0, "b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_timestamps(self, engine):
+        order = []
+        def proc(tag):
+            yield engine.timeout(1.0)
+            order.append(tag)
+        for tag in ["x", "y", "z"]:
+            engine.process(proc(tag))
+        engine.run()
+        assert order == ["x", "y", "z"]
+
+    def test_peek_reports_next_event_time(self, engine):
+        engine.timeout(7.0)
+        engine.timeout(2.0)
+        assert engine.peek() == 2.0
+
+    def test_peek_empty_is_inf(self, engine):
+        assert engine.peek() == float("inf")
+
+
+class TestProcess:
+    def test_process_return_value(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            return 42
+        p = engine.process(proc())
+        result = engine.run(until=p)
+        assert result == 42
+
+    def test_timeout_value_is_delivered(self, engine):
+        got = []
+        def proc():
+            value = yield engine.timeout(1.0, value="hello")
+            got.append(value)
+        engine.process(proc())
+        engine.run()
+        assert got == ["hello"]
+
+    def test_process_waits_on_manual_event(self, engine):
+        event = engine.event()
+        got = []
+        def waiter():
+            got.append((yield event))
+        def firer():
+            yield engine.timeout(2.0)
+            event.succeed("fired")
+        engine.process(waiter())
+        engine.process(firer())
+        engine.run()
+        assert got == ["fired"]
+        assert engine.now == 2.0
+
+    def test_process_chains_subprocess(self, engine):
+        def child():
+            yield engine.timeout(4.0)
+            return "child-done"
+        def parent():
+            result = yield engine.process(child())
+            return result
+        p = engine.process(parent())
+        assert engine.run(until=p) == "child-done"
+
+    def test_yield_already_processed_event_continues_immediately(self, engine):
+        event = engine.event()
+        event.succeed("early")
+        engine.run()  # processes the event
+        got = []
+        def proc():
+            got.append((yield event))
+            yield engine.timeout(1.0)
+            got.append("after")
+        engine.process(proc())
+        engine.run()
+        assert got == ["early", "after"]
+
+    def test_unhandled_process_exception_propagates(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise RuntimeError("boom")
+        engine.process(proc())
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+
+    def test_waiting_parent_receives_child_failure(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise ValueError("child failed")
+        def parent():
+            try:
+                yield engine.process(child())
+            except ValueError as exc:
+                return f"caught {exc}"
+        p = engine.process(parent())
+        assert engine.run(until=p) == "caught child failed"
+
+    def test_failed_event_throws_into_process(self, engine):
+        event = engine.event()
+        def proc():
+            try:
+                yield event
+            except RuntimeError:
+                return "handled"
+        p = engine.process(proc())
+        event.fail(RuntimeError("nope"))
+        assert engine.run(until=p) == "handled"
+
+    def test_yield_non_event_raises(self, engine):
+        def proc():
+            yield 42
+        engine.process(proc())
+        with pytest.raises(RuntimeError, match="non-event"):
+            engine.run()
+
+    def test_run_until_event_deadlock_detected(self, engine):
+        event = engine.event()  # never triggered
+        with pytest.raises(RuntimeError, match="deadlock"):
+            engine.run(until=event)
+
+    def test_active_process_visible_inside_resume(self, engine):
+        seen = []
+        def proc():
+            seen.append(engine.active_process)
+            yield engine.timeout(1.0)
+        p = engine.process(proc())
+        engine.run()
+        assert seen == [p]
+        assert engine.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self, engine):
+        def victim():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as intr:
+                return f"interrupted:{intr.cause}"
+        def attacker(target):
+            yield engine.timeout(1.0)
+            target.interrupt("why-not")
+        p = engine.process(victim())
+        engine.process(attacker(p))
+        assert engine.run(until=p) == "interrupted:why-not"
+        assert engine.now == pytest.approx(1.0)
+
+    def test_interrupt_terminated_process_is_noop(self, engine):
+        def victim():
+            yield engine.timeout(1.0)
+            return "done"
+        p = engine.process(victim())
+        def attacker():
+            yield engine.timeout(5.0)
+            p.interrupt()  # long after completion
+        engine.process(attacker())
+        engine.run()
+        assert p.value == "done"
+
+    def test_interrupted_process_can_continue(self, engine):
+        log = []
+        def victim():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt:
+                log.append(("intr", engine.now))
+            yield engine.timeout(2.0)
+            log.append(("resumed", engine.now))
+        p = engine.process(victim())
+        def attacker():
+            yield engine.timeout(1.0)
+            p.interrupt()
+        engine.process(attacker())
+        engine.run(until=p)
+        assert log == [("intr", 1.0), ("resumed", 3.0)]
+
+    def test_interrupt_cause_default_none(self, engine):
+        causes = []
+        def victim():
+            try:
+                yield engine.timeout(10.0)
+            except Interrupt as intr:
+                causes.append(intr.cause)
+        p = engine.process(victim())
+        def attacker():
+            yield engine.timeout(1.0)
+            p.interrupt()
+        engine.process(attacker())
+        engine.run()
+        assert causes == [None]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, engine):
+        t1 = engine.timeout(1.0, value="a")
+        t2 = engine.timeout(3.0, value="b")
+        cond = AllOf(engine, [t1, t2])
+        result = engine.run(until=cond)
+        assert result == {t1: "a", t2: "b"}
+        assert engine.now == 3.0
+
+    def test_any_of_fires_on_first(self, engine):
+        t1 = engine.timeout(1.0, value="fast")
+        t2 = engine.timeout(5.0, value="slow")
+        cond = AnyOf(engine, [t1, t2])
+        result = engine.run(until=cond)
+        assert result == {t1: "fast"}
+        assert engine.now == 1.0
+
+    def test_all_of_empty_succeeds_immediately(self, engine):
+        cond = AllOf(engine, [])
+        assert cond.triggered
+        assert cond.value == {}
+
+    def test_all_of_fails_fast(self, engine):
+        t1 = engine.timeout(10.0)
+        bad = engine.event()
+        cond = AllOf(engine, [t1, bad])
+        def failer():
+            yield engine.timeout(1.0)
+            bad.fail(ValueError("broken"))
+        engine.process(failer())
+        with pytest.raises(ValueError, match="broken"):
+            engine.run(until=cond)
+        assert engine.now == 1.0
+
+    def test_condition_with_already_processed_event(self, engine):
+        ev = engine.event()
+        ev.succeed("pre")
+        engine.run()
+        t = engine.timeout(2.0, value="post")
+        cond = AllOf(engine, [ev, t])
+        result = engine.run(until=cond)
+        assert result == {ev: "pre", t: "post"}
+
+    def test_engine_helpers(self, engine):
+        t1 = engine.timeout(1.0)
+        t2 = engine.timeout(2.0)
+        engine.run(until=engine.all_of([t1, t2]))
+        assert engine.now == 2.0
+
+
+class TestEventSemantics:
+    def test_double_succeed_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, engine):
+        ev = engine.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, engine):
+        ev = engine.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_defused_failure_does_not_propagate(self, engine):
+        ev = engine.event()
+        ev.fail(RuntimeError("quiet"))
+        ev.defuse()
+        engine.run()  # should not raise
+
+    def test_undefused_failure_propagates_from_step(self, engine):
+        ev = engine.event()
+        ev.fail(RuntimeError("loud"))
+        with pytest.raises(RuntimeError, match="loud"):
+            engine.run()
+
+    def test_trigger_copies_outcome(self, engine):
+        src = engine.event()
+        dst = engine.event()
+        src.succeed(123)
+        dst.trigger(src)
+        engine.run()
+        assert dst.ok and dst.value == 123
+
+    def test_mixing_engines_in_condition_rejected(self, engine):
+        other = SimulationEngine()
+        with pytest.raises(ValueError):
+            AllOf(engine, [engine.event(), other.event()])

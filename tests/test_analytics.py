@@ -1,0 +1,128 @@
+"""Tests for the analytics layer: metrics, experiment drivers, reports."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    EXP1_INSTANCE_COUNTS,
+    REQUESTS_PER_CLIENT,
+    STRONG_SCALING_GRID,
+    WEAK_SCALING_GRID,
+    ReportBuilder,
+    dist_stats,
+    format_seconds,
+    render_table,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_service_workload,
+)
+
+
+class TestPaperParameters:
+    def test_exp1_grid_matches_paper(self):
+        assert EXP1_INSTANCE_COUNTS == (1, 2, 4, 8, 20, 40, 80, 160, 320, 640)
+
+    def test_scaling_grids_match_paper(self):
+        assert STRONG_SCALING_GRID == ((16, 1), (16, 2), (16, 4), (16, 8),
+                                       (16, 16))
+        assert WEAK_SCALING_GRID == ((1, 1), (2, 2), (4, 4), (8, 8),
+                                     (16, 16))
+
+    def test_requests_per_client(self):
+        assert REQUESTS_PER_CLIENT == 1024
+
+
+class TestExperiment1:
+    def test_bt_components_present(self):
+        result = run_experiment1(4, seed=1)
+        assert result.metrics.launch.size == 4
+        assert result.metrics.init.size == 4
+        assert result.metrics.publish.size == 4
+        row = result.row()
+        assert row["bt_mean_s"] == pytest.approx(
+            row["launch_mean_s"] + row["init_mean_s"]
+            + row["publish_mean_s"], rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment1(4, seed=9).row()
+        b = run_experiment1(4, seed=9).row()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = run_experiment1(4, seed=1).row()
+        b = run_experiment1(4, seed=2).row()
+        assert a != b
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            run_experiment1(0)
+
+
+class TestExperiment2and3:
+    def test_exp2_local_communication_dominates(self):
+        result = run_experiment2(2, 2, "local", n_requests=64, seed=1)
+        assert result.metrics.dominant_component() == "communication"
+        assert result.metrics.n_requests == 128
+
+    def test_exp2_remote_slower_than_local(self):
+        local = run_experiment2(2, 2, "local", n_requests=64, seed=1)
+        remote = run_experiment2(2, 2, "remote", n_requests=64, seed=1)
+        assert remote.metrics.rt_stats.mean > \
+            3 * local.metrics.rt_stats.mean
+
+    def test_exp3_inference_dominates_weak_scaling(self):
+        result = run_experiment3(2, 2, "remote", n_requests=4, seed=1)
+        means = result.metrics.component_means()
+        assert means["inference"] > means["communication"] * 100
+
+    def test_exp3_queueing_under_saturation(self):
+        result = run_experiment3(8, 1, "remote", n_requests=4, seed=1)
+        means = result.metrics.component_means()
+        assert means["service"] > means["inference"]
+
+    def test_invalid_deployment(self):
+        with pytest.raises(ValueError):
+            run_service_workload(1, 1, deployment="orbital")
+
+    def test_heterogeneous_models(self):
+        result = run_service_workload(
+            2, 2, "remote", models=["noop", "noop"], n_requests=8, seed=1)
+        assert result.metrics.n_requests == 16
+
+    def test_models_length_validated(self):
+        with pytest.raises(ValueError):
+            run_service_workload(1, 2, "remote", models=["noop"])
+
+    def test_per_client_results_kept(self):
+        result = run_experiment2(3, 1, "local", n_requests=16, seed=1)
+        assert len(result.per_client) == 3
+        assert all(len(r) == 16 for r in result.per_client)
+
+
+class TestReport:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(0.0025) == "2.500 ms"
+        assert format_seconds(2.5e-6) == "2.5 µs"
+        assert format_seconds(float("nan")) == "n/a"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.0], [10, 0.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len({len(l) for l in lines[2:]}) == 1  # rectangular
+
+    def test_report_builder_sections(self):
+        report = (ReportBuilder("X")
+                  .add_table(["h"], [[1]])
+                  .add_text("note")
+                  .add_kv({"k": 1.0}, title="facts"))
+        text = report.render()
+        assert "X" in text and "note" in text and "facts" in text
+
+    def test_dist_stats_empty(self):
+        stats = dist_stats([])
+        assert stats.n == 0
+        assert np.isnan(stats.mean)

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Each property encodes an invariant the runtime's correctness rests on:
+no resource double-booking, state machines without shortcuts, FIFO
+delivery, conservation of scheduled capacity, statistical post-processing
+laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpc import NodeList, NodeState
+from repro.pilot import Session, TaskDescription
+from repro.pilot.agent.scheduler import AgentScheduler
+from repro.pilot.states import (
+    SERVICE_MODEL,
+    TASK_MODEL,
+    ServiceState,
+    StateError,
+    TaskState,
+)
+from repro.pilot.task import Task
+from repro.sim import RngHub, SimulationEngine, Store
+from repro.workflows.pathways import benjamini_hochberg
+from repro.analytics import dist_stats
+
+
+# ---------------------------------------------------------------------------
+# DES engine
+# ---------------------------------------------------------------------------
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=50))
+def test_engine_processes_events_in_time_order(delays):
+    engine = SimulationEngine()
+    seen = []
+
+    def proc(delay):
+        yield engine.timeout(delay)
+        seen.append(engine.now)
+
+    for delay in delays:
+        engine.process(proc(delay))
+    engine.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert engine.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30),
+       deadline=st.floats(min_value=0.0, max_value=120.0, allow_nan=False))
+def test_engine_run_until_deadline_never_overshoots(delays, deadline):
+    engine = SimulationEngine()
+    fired = []
+
+    def proc(delay):
+        yield engine.timeout(delay)
+        fired.append(delay)
+
+    for delay in delays:
+        engine.process(proc(delay))
+    engine.run(until=deadline)
+    assert engine.now == deadline
+    assert all(d <= deadline for d in fired)
+    assert sorted(fired) == sorted(d for d in delays if d <= deadline)
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_is_fifo(items):
+    engine = SimulationEngine()
+    store = Store(engine)
+    for item in items:
+        store.put(item)
+    gets = [store.get() for _ in items]
+    engine.run()
+    assert [g.value for g in gets] == items
+
+
+# ---------------------------------------------------------------------------
+# Node accounting / scheduler
+# ---------------------------------------------------------------------------
+
+@given(st.data())
+def test_node_allocation_conserves_resources(data):
+    cores = data.draw(st.integers(min_value=1, max_value=32))
+    gpus = data.draw(st.integers(min_value=0, max_value=8))
+    node = NodeState(0, "n0", cores, gpus, 64.0)
+    live = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=20))):
+        if live and data.draw(st.booleans()):
+            node.release(live.pop())
+        else:
+            want_c = data.draw(st.integers(min_value=0, max_value=cores))
+            want_g = data.draw(st.integers(min_value=0, max_value=max(gpus, 0)))
+            if node.fits(want_c, want_g):
+                live.append(node.allocate(want_c, want_g))
+        # invariant: free + held == total, and held indices are disjoint
+        held_cores = [c for slot in live for c in slot.cores]
+        held_gpus = [g for slot in live for g in slot.gpus]
+        assert len(held_cores) == len(set(held_cores))
+        assert len(held_gpus) == len(set(held_gpus))
+        assert node.free_cores + len(held_cores) == cores
+        assert node.free_gpus + len(held_gpus) == gpus
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_scheduler_never_oversubscribes(data):
+    """Random schedule/release traffic keeps every core/GPU single-owner.
+
+    Accounting is over *all* tasks ever created: slots are assigned eagerly
+    at grant time, so ``task.slots`` is the ground truth regardless of when
+    the grant event gets processed.  Infeasible requests fail their grant
+    and must leave capacity untouched (their failure is defused).
+    """
+    with Session(seed=0) as session:
+        n_nodes = data.draw(st.integers(min_value=1, max_value=4))
+        cores = data.draw(st.integers(min_value=2, max_value=16))
+        gpus = data.draw(st.integers(min_value=0, max_value=4))
+        nodes = NodeList.build(n_nodes, cores, gpus, 64.0)
+        sched = AgentScheduler(session, nodes, "pilot.prop")
+        tasks = []
+        for i in range(data.draw(st.integers(min_value=1, max_value=30))):
+            holders = [t for t in tasks if t.slots]
+            if holders and data.draw(st.booleans()):
+                sched.release(holders[data.draw(st.integers(
+                    min_value=0, max_value=len(holders) - 1))])
+            else:
+                desc = TaskDescription(
+                    executable="x",
+                    ranks=data.draw(st.integers(min_value=1, max_value=2)),
+                    cores_per_rank=data.draw(
+                        st.integers(min_value=1, max_value=cores)),
+                    gpus_per_rank=data.draw(
+                        st.integers(min_value=0, max_value=max(gpus, 0))))
+                task = Task(session, desc, f"t{i}")
+                grant = sched.schedule(task)
+                if grant.triggered and grant.ok is False:
+                    grant.defuse()  # infeasible: expected, not an error
+                else:
+                    tasks.append(task)
+                session.run()
+            # invariant: every core/GPU is free or owned by exactly one slot
+            used_cores = sum(s.n_cores for t in tasks for s in t.slots)
+            used_gpus = sum(s.n_gpus for t in tasks for s in t.slots)
+            assert nodes.total_free_cores + used_cores == n_nodes * cores
+            assert nodes.total_free_gpus + used_gpus == n_nodes * gpus
+            for node in nodes:
+                assert 0 <= node.free_cores <= cores
+                assert 0 <= node.free_gpus <= gpus
+
+
+# ---------------------------------------------------------------------------
+# State machines
+# ---------------------------------------------------------------------------
+
+ALL_TASK_STATES = [
+    TaskState.NEW, TaskState.TMGR_SCHEDULING, TaskState.TMGR_STAGING_INPUT,
+    TaskState.AGENT_SCHEDULING, TaskState.AGENT_EXECUTING,
+    TaskState.TMGR_STAGING_OUTPUT, TaskState.DONE, TaskState.FAILED,
+    TaskState.CANCELED]
+
+
+@given(start=st.sampled_from(ALL_TASK_STATES),
+       target=st.sampled_from(ALL_TASK_STATES))
+def test_task_model_final_states_absorb(start, target):
+    if start in TaskState.FINAL:
+        with pytest.raises(StateError):
+            TASK_MODEL.check(start, target)
+    elif target in (TaskState.FAILED, TaskState.CANCELED):
+        TASK_MODEL.check(start, target)  # always legal from live states
+
+
+@given(path=st.permutations([
+    ServiceState.LAUNCHING, ServiceState.INITIALIZING,
+    ServiceState.PUBLISHING, ServiceState.READY]))
+def test_service_bootstrap_order_is_unique(path):
+    """Only the canonical launch->init->publish->ready order is legal."""
+    canonical = [ServiceState.LAUNCHING, ServiceState.INITIALIZING,
+                 ServiceState.PUBLISHING, ServiceState.READY]
+    state = ServiceState.DEFINED
+    legal = True
+    for nxt in path:
+        try:
+            SERVICE_MODEL.check(state, nxt)
+            state = nxt
+        except StateError:
+            legal = False
+            break
+    assert legal == (list(path) == canonical)
+
+
+# ---------------------------------------------------------------------------
+# RNG hub
+# ---------------------------------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       names=st.lists(st.text(min_size=1, max_size=12), min_size=2,
+                      max_size=6, unique=True))
+def test_rng_streams_reproducible_and_name_isolated(seed, names):
+    hub1, hub2 = RngHub(seed), RngHub(seed)
+    draws1 = {n: hub1.stream(n).random(4) for n in names}
+    # hub2 draws in reverse order: must not matter
+    draws2 = {n: hub2.stream(n).random(4) for n in reversed(names)}
+    for name in names:
+        assert np.array_equal(draws1[name], draws2[name])
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+@given(p=st.lists(st.floats(min_value=0.0, max_value=1.0,
+                            allow_nan=False), min_size=1, max_size=100))
+def test_bh_properties(p):
+    q = benjamini_hochberg(p)
+    p_arr = np.asarray(p)
+    assert (q >= p_arr - 1e-12).all()          # adjustment never lowers
+    assert (q <= 1.0 + 1e-12).all()            # bounded
+    order = np.argsort(p_arr)
+    assert (np.diff(q[order]) >= -1e-12).all()  # order-preserving
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200))
+def test_dist_stats_consistency(values):
+    stats = dist_stats(values)
+    arr = np.asarray(values)
+    assert stats.n == arr.size
+    assert stats.min <= stats.p50 <= stats.max
+    assert stats.min <= stats.mean <= stats.max
+    assert stats.p50 <= stats.p95 + 1e-9
+    assert stats.std >= 0
+
+
+@given(st.data())
+def test_rt_decomposition_adds_up(data):
+    """communication + service + inference == RT for any reply metadata."""
+    from repro.comm.message import Address, Message
+    from repro.core.client import ServiceClient
+
+    t0 = data.draw(st.floats(min_value=0, max_value=1e3, allow_nan=False))
+    leg1 = data.draw(st.floats(min_value=1e-6, max_value=1.0))
+    queue = data.draw(st.floats(min_value=0, max_value=10.0))
+    parse = data.draw(st.floats(min_value=0, max_value=0.1))
+    infer = data.draw(st.floats(min_value=0, max_value=100.0))
+    serialize = data.draw(st.floats(min_value=0, max_value=0.1))
+    leg2 = data.draw(st.floats(min_value=1e-6, max_value=1.0))
+
+    received = t0 + leg1
+    dequeued = received + queue
+    infer_start = dequeued + parse
+    infer_stop = infer_start + infer
+    replied = infer_stop + serialize
+    t1 = replied + leg2
+
+    reply = Message(kind="reply", payload={"ok": True}, meta={
+        "received_at": received, "dequeued_at": dequeued,
+        "infer_start_at": infer_start, "infer_stop_at": infer_stop,
+        "replied_at": replied, "service_uid": "svc"})
+    client = ServiceClient.__new__(ServiceClient)  # bypass bus wiring
+    client.uid = "client.prop"
+    result = client._decompose(reply, t0, t1)
+    assert result.response_time == pytest.approx(
+        result.communication + result.service_time + result.inference_time)
+    assert result.communication == pytest.approx(leg1 + leg2)
+    assert result.inference_time == pytest.approx(infer)
+    assert result.queue_time == pytest.approx(queue)

@@ -1,0 +1,193 @@
+"""Tests for the bio substrate: VCF, VEP, pathways, dose-response."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngHub
+from repro.workflows import (
+    GeneModel,
+    PathwayDatabase,
+    VepAnnotator,
+    benjamini_hochberg,
+    enrich,
+    fit_hill,
+    fit_linear,
+    generate_vcf,
+    parse_vcf,
+    transition_fraction,
+    write_vcf,
+)
+
+
+@pytest.fixture
+def rng():
+    return RngHub(0).stream("bio")
+
+
+class TestVcf:
+    def test_generate_counts(self, rng):
+        variants = generate_vcf(100, dose_gy=0.5, rng=rng)
+        assert len(variants) == 100
+        assert all(v.ref != v.alt for v in variants)
+
+    def test_dose_raises_ct_fraction(self, rng):
+        low = generate_vcf(2000, dose_gy=0.0, rng=rng)
+        high = generate_vcf(2000, dose_gy=1.5, rng=rng)
+        assert transition_fraction(high) > transition_fraction(low) + 0.2
+
+    def test_roundtrip_through_text(self, rng):
+        variants = generate_vcf(50, dose_gy=0.3, rng=rng)
+        parsed = parse_vcf(write_vcf(variants))
+        assert parsed == variants
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_vcf("chr1\t100\tonly-three-fields")
+
+    def test_parse_skips_headers(self, rng):
+        text = write_vcf(generate_vcf(5, 0.1, rng))
+        assert len(parse_vcf(text)) == 5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_vcf(-1, 0.1, rng)
+        with pytest.raises(ValueError):
+            generate_vcf(10, -0.1, rng)
+
+    def test_empty_fraction_is_nan(self):
+        assert np.isnan(transition_fraction([]))
+
+
+class TestVep:
+    def test_gene_mapping_deterministic(self):
+        model = GeneModel(genome_size=1000, n_genes=10)
+        assert model.gene_at(1) == "G0000"
+        assert model.gene_at(150) == "G0001"
+        assert model.gene_at(1000) == "G0009"
+
+    def test_annotation_is_pure(self, rng):
+        annotator = VepAnnotator()
+        variants = generate_vcf(20, 0.2, rng)
+        a1 = annotator.annotate(variants)
+        a2 = annotator.annotate(variants)
+        assert a1 == a2
+
+    def test_consequences_cover_classes(self, rng):
+        annotator = VepAnnotator()
+        annotated = annotator.annotate(generate_vcf(3000, 0.5, rng))
+        seen = {a.consequence for a in annotated}
+        assert "missense_variant" in seen
+        assert "intergenic_variant" in seen
+        assert "synonymous_variant" in seen
+
+    def test_impact_assignment(self, rng):
+        annotator = VepAnnotator()
+        for av in annotator.annotate(generate_vcf(200, 0.5, rng)):
+            assert av.impact == VepAnnotator.IMPACT[av.consequence]
+
+    def test_gene_burden_counts_damaging_only(self, rng):
+        annotator = VepAnnotator()
+        annotated = annotator.annotate(generate_vcf(500, 0.5, rng))
+        burden = annotator.gene_burden(annotated, min_impact="HIGH")
+        moderate = annotator.gene_burden(annotated, min_impact="MODERATE")
+        assert sum(burden.values()) <= sum(moderate.values())
+
+    def test_invalid_gene_model(self):
+        with pytest.raises(ValueError):
+            GeneModel(genome_size=5, n_genes=10)
+
+
+class TestPathways:
+    def test_synthesise_shapes(self):
+        db = PathwayDatabase.synthesise(n_genes=100, n_pathways=10,
+                                        n_radiation=2, seed=1)
+        assert len(db) == 10
+        assert len(db.radiation_pathways) == 2
+        assert all(m <= set(db.universe) for m in db.pathways.values())
+
+    def test_radiation_pathways_enriched_for_targets(self):
+        db = PathwayDatabase.synthesise(seed=2)
+        targets = set(db.universe[:40])
+        for name in db.radiation_pathways:
+            members = db.pathways[name]
+            overlap = len(members & targets) / len(members)
+            assert overlap > 0.4
+
+    def test_enrich_finds_planted_signal(self):
+        db = PathwayDatabase.synthesise(seed=3)
+        hits = db.pathways[db.radiation_pathways[0]]
+        results = enrich(set(hits), db)
+        top = results[0]
+        assert top.pathway == db.radiation_pathways[0]
+        assert top.significant
+
+    def test_enrich_null_is_flat(self):
+        db = PathwayDatabase.synthesise(seed=4)
+        rng = np.random.default_rng(0)
+        hits = set(rng.choice(db.universe, size=10, replace=False))
+        results = enrich(hits, db)
+        # without planted signal, few/no significant calls
+        assert sum(r.significant for r in results) <= 2
+
+    def test_enrich_empty_hits(self):
+        db = PathwayDatabase.synthesise(seed=5)
+        results = enrich(set(), db)
+        assert all(r.p_value == 1.0 for r in results)
+
+    def test_too_many_radiation_pathways_rejected(self):
+        with pytest.raises(ValueError):
+            PathwayDatabase.synthesise(n_pathways=2, n_radiation=3)
+
+
+class TestBH:
+    def test_monotone_and_bounded(self):
+        p = [0.001, 0.01, 0.02, 0.5, 0.9]
+        q = benjamini_hochberg(p)
+        assert (q >= p).all()
+        assert (q <= 1.0).all()
+
+    def test_monotone_in_p(self):
+        # BH is order-preserving up to ties introduced by the step-up clamp.
+        rng = np.random.default_rng(0)
+        p = rng.uniform(size=50)
+        q = benjamini_hochberg(p)
+        order = np.argsort(p)
+        assert (np.diff(q[order]) >= -1e-12).all()
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            benjamini_hochberg([0.5, 1.5])
+
+    def test_empty(self):
+        assert benjamini_hochberg([]).size == 0
+
+
+class TestDoseResponse:
+    def test_linear_recovers_slope(self):
+        x = np.linspace(0, 2, 10)
+        y = 0.25 + 0.3 * x
+        fit = fit_linear(x, y)
+        assert fit.params["slope"] == pytest.approx(0.3, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.responsive
+
+    def test_linear_flat_not_responsive(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 2, 12)
+        y = 0.3 + rng.normal(0, 0.01, size=12)
+        fit = fit_linear(x, y)
+        assert not fit.responsive or abs(fit.params["slope"]) < 0.05
+
+    def test_hill_recovers_saturation(self):
+        from repro.workflows import hill
+        x = np.linspace(0, 3, 20)
+        y = hill(x, 0.2, 0.5, 0.8, 2.0)
+        fit = fit_hill(x, y)
+        assert fit.r_squared > 0.98
+        assert fit.params["ec50"] == pytest.approx(0.8, rel=0.2)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear([0, 1], [0, 1])
+        with pytest.raises(ValueError):
+            fit_hill([0, 1, 2], [0, 1, 2])

