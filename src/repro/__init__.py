@@ -47,11 +47,15 @@ from .pilot import (
     TaskState,
 )
 from .core import (
+    Autoscaler,
+    AutoscalerConfig,
     EndpointRegistry,
     InferenceResult,
+    JoinShortestQueueBalancer,
     LeastLoadedBalancer,
     LoadBalancer,
     RandomBalancer,
+    RequestTimeout,
     RoundRobinBalancer,
     ServiceClient,
     ServiceHandle,
@@ -79,11 +83,15 @@ __all__ = [
     "TaskDescription",
     "TaskManager",
     "TaskState",
+    "Autoscaler",
+    "AutoscalerConfig",
     "EndpointRegistry",
     "InferenceResult",
+    "JoinShortestQueueBalancer",
     "LeastLoadedBalancer",
     "LoadBalancer",
     "RandomBalancer",
+    "RequestTimeout",
     "RoundRobinBalancer",
     "ServiceClient",
     "ServiceHandle",

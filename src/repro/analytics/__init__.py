@@ -18,6 +18,7 @@ from .experiments import (
     run_experiment1,
     run_experiment2,
     run_experiment3,
+    run_autoscaled_workload,
     run_service_workload,
 )
 from .report import ReportBuilder, format_seconds, render_table
@@ -38,6 +39,7 @@ __all__ = [
     "run_experiment1",
     "run_experiment2",
     "run_experiment3",
+    "run_autoscaled_workload",
     "run_service_workload",
     "ReportBuilder",
     "format_seconds",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.autoscaler import AutoscalerConfig
 from ..core.client import InferenceResult, ServiceClient
 from ..core.service_manager import ServiceHandle, ServiceManager
 from ..pilot.description import PilotDescription, ServiceDescription
@@ -42,6 +43,7 @@ __all__ = [
     "run_experiment2",
     "run_experiment3",
     "run_service_workload",
+    "run_autoscaled_workload",
 ]
 
 #: §IV-B: "We increase the number of instances during each experiment run".
@@ -120,6 +122,17 @@ class Exp23Result:
     metrics: ResponseMetrics
     makespan_s: float
     per_client: List[List[InferenceResult]] = field(default_factory=list)
+    #: admission-control rejections (bounded-queue shedding) across the fleet
+    shed_total: int = 0
+    #: client-side busy/timeout retries across all clients
+    retries_total: int = 0
+    #: requests that exhausted their retries without a successful reply
+    #: (excluded from ``metrics``, see :func:`response_metrics`)
+    failed_total: int = 0
+    #: autoscaler (time, "up"|"down", count) actions, when autoscaling ran
+    scale_events: List[Tuple[float, str, int]] = field(default_factory=list)
+    #: autoscaler (time, instance count) samples, when autoscaling ran
+    count_trace: List[Tuple[float, int]] = field(default_factory=list)
 
     def row(self) -> Dict[str, float]:
         means = self.metrics.component_means()
@@ -145,9 +158,12 @@ def run_service_workload(n_clients: int, n_services: int,
                          service_platform_remote: str = "r3",
                          backend: str = "ollama",
                          max_concurrency: int = 1,
+                         max_batch_size: int = 0,
+                         max_queue_depth: int = 0,
+                         client_timeout_s: Optional[float] = None,
                          balancer=None,
                          models: Optional[List[str]] = None) -> Exp23Result:
-    """Common driver for Experiments 2 and 3.
+    """Common driver for Experiments 2 and 3 (and the batching ablation).
 
     Local deployment bootstraps services on a Delta pilot (Table II:
     256 cores / 16 GPUs); remote deployment attaches persistent services on
@@ -158,7 +174,9 @@ def run_service_workload(n_clients: int, n_services: int,
     *balancer*: a shared :class:`~repro.core.load_balancer.LoadBalancer`
     used by every client (default: per-client round-robin).  *models*: a
     per-service model list overriding *model* (heterogeneous fleets for the
-    load-balancing ablation).
+    load-balancing ablation).  *max_batch_size* / *max_queue_depth*
+    configure the adaptive data plane (0 keeps the paper's serial/unbounded
+    baseline); *client_timeout_s* enables client-side request timeouts.
     """
     if deployment not in ("local", "remote"):
         raise ValueError("deployment must be 'local' or 'remote'")
@@ -183,6 +201,8 @@ def run_service_workload(n_clients: int, n_services: int,
                 ServiceDescription(model=svc_model, backend=backend,
                                    gpus_per_rank=0 if svc_model == "noop" else 1,
                                    max_concurrency=max_concurrency,
+                                   max_batch_size=max_batch_size,
+                                   max_queue_depth=max_queue_depth,
                                    startup_timeout_s=1e6)
                 for svc_model in service_models]
             handles = smgr.start_services(descriptions, pilot)
@@ -190,14 +210,17 @@ def run_service_workload(n_clients: int, n_services: int,
             handles = [
                 smgr.start_remote(
                     ServiceDescription(model=svc_model, backend=backend,
-                                       max_concurrency=max_concurrency),
+                                       max_concurrency=max_concurrency,
+                                       max_batch_size=max_batch_size,
+                                       max_queue_depth=max_queue_depth),
                     platform=service_platform_remote)
                 for svc_model in service_models]
 
         session.run(until=smgr.wait_ready(handles))
         targets = [h.address for h in handles]
 
-        clients = [ServiceClient(session, platform=client_platform)
+        clients = [ServiceClient(session, platform=client_platform,
+                                 timeout_s=client_timeout_s)
                    for _ in range(n_clients)]
         params = {"max_tokens": max_tokens}
 
@@ -213,13 +236,18 @@ def run_service_workload(n_clients: int, n_services: int,
         makespan = session.now - t0
 
         all_results = [r for c in clients for r in c.results]
+        shed = sum(h.instance.shed_count for h in handles
+                   if h.instance is not None)
         return Exp23Result(
             n_clients=n_clients, n_services=n_services,
             deployment=deployment, model=model,
             n_requests_per_client=n_requests,
             metrics=response_metrics(all_results),
             makespan_s=makespan,
-            per_client=[list(c.results) for c in clients])
+            per_client=[list(c.results) for c in clients],
+            shed_total=shed,
+            retries_total=sum(c.retries for c in clients),
+            failed_total=sum(1 for r in all_results if not r.ok))
 
 
 def run_experiment2(n_clients: int, n_services: int,
@@ -249,3 +277,105 @@ def run_experiment3(n_clients: int, n_services: int,
         n_requests=n_requests, seed=seed,
         prompt="summarize the role of runtime systems in hybrid workflows",
         max_tokens=max_tokens)
+
+
+def run_autoscaled_workload(n_clients: int = 16,
+                            model: str = "llama-8b",
+                            backend: str = "ollama",
+                            burst_s: float = 180.0,
+                            idle_s: float = 300.0,
+                            n_bursts: int = 2,
+                            autoscale: bool = True,
+                            config: Optional[AutoscalerConfig] = None,
+                            max_batch_size: int = 0,
+                            max_queue_depth: int = 0,
+                            max_tokens: int = 64,
+                            seed: int = 0,
+                            client_platform: str = "delta",
+                            service_platform: str = "r3",
+                            client_timeout_s: float = 120.0,
+                            heartbeat_interval_s: float = 2.0,
+                            ) -> Exp23Result:
+    """Bursty-load scaling study: elastic instance counts vs a fixed fleet.
+
+    *n_clients* clients hammer the fleet back-to-back during each of
+    *n_bursts* windows of *burst_s* seconds, separated by *idle_s* of
+    silence.  With ``autoscale=True`` an :class:`Autoscaler` (remote
+    attachment, so launches are cheap) grows the fleet toward the
+    queue-delay SLO during bursts and shrinks it back during idles; with
+    ``autoscale=False`` the fleet stays at ``config.min_instances``.
+    Clients resolve targets from the registry before every request (the
+    fleet changes underneath them) and use join-shortest-queue routing over
+    the published telemetry.
+
+    Returns an :class:`Exp23Result` whose ``scale_events``/``count_trace``
+    record the autoscaler's actions.
+    """
+    from ..core.load_balancer import JoinShortestQueueBalancer
+
+    config = config or AutoscalerConfig()
+    with Session(seed=seed,
+                 platforms=[client_platform, service_platform,
+                            "localhost"]) as session:
+        smgr = ServiceManager(session, registry_platform=client_platform)
+        description = ServiceDescription(
+            model=model, backend=backend,
+            max_batch_size=max_batch_size,
+            max_queue_depth=max_queue_depth,
+            heartbeat_interval_s=heartbeat_interval_s)
+        scaler = smgr.start_autoscaler(description,
+                                       remote_platform=service_platform,
+                                       config=config)
+        if not autoscale:
+            scaler.stop()  # fleet frozen at min_instances
+        session.run(until=smgr.wait_ready(scaler.handles))
+
+        registry = smgr.registry
+
+        def resolve():
+            return [info.address for info in registry.list_services()]
+
+        balancer = JoinShortestQueueBalancer(registry)
+        clients = [ServiceClient(session, platform=client_platform,
+                                 timeout_s=client_timeout_s)
+                   for _ in range(n_clients)]
+        params = {"max_tokens": max_tokens}
+        engine = session.engine
+
+        def client_proc(client: ServiceClient):
+            for k in range(n_bursts):
+                start = k * (burst_s + idle_s)
+                if engine.now < start:
+                    yield engine.timeout(start - engine.now)
+                while engine.now < start + burst_s:
+                    yield from client.run_workload(
+                        resolve, 1, prompt="burst", params=params,
+                        balancer=balancer)
+
+        t0 = session.now
+        procs = [session.engine.process(client_proc(c)) for c in clients]
+        session.run(until=session.engine.all_of(procs))
+        makespan = session.now - t0
+        # Trailing cooldown: let the autoscaler observe the idle fleet and
+        # shrink back before the trace is captured.
+        session.run(until=session.now + idle_s)
+        scaler.stop()
+
+        all_results = [r for c in clients for r in c.results]
+        # all_handles includes scaled-down instances: their sheds count too
+        shed = sum(h.instance.shed_count for h in scaler.all_handles
+                   if h.instance is not None)
+        n_services = max((count for _, count in scaler.count_trace),
+                         default=config.min_instances)
+        return Exp23Result(
+            n_clients=n_clients, n_services=n_services,
+            deployment="remote", model=model,
+            n_requests_per_client=len(all_results) // max(1, n_clients),
+            metrics=response_metrics(all_results),
+            makespan_s=makespan,
+            per_client=[list(c.results) for c in clients],
+            shed_total=shed,
+            retries_total=sum(c.retries for c in clients),
+            failed_total=sum(1 for r in all_results if not r.ok),
+            scale_events=list(scaler.scale_events),
+            count_trace=list(scaler.count_trace))

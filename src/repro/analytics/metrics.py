@@ -55,19 +55,30 @@ class DistStats:
 
 
 def dist_stats(values: Sequence[float]) -> DistStats:
-    """Compute :class:`DistStats` (empty input yields NaNs, n=0)."""
+    """Compute :class:`DistStats` (empty input yields NaNs, n=0).
+
+    The mean and percentiles are clamped into ``[min, max]``: floating-point
+    summation can push ``arr.mean()`` (and interpolated percentiles) a few
+    ULPs outside the data range, which breaks the ``min <= mean <= max``
+    invariant downstream consumers rely on.
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         nan = float("nan")
         return DistStats(0, nan, nan, nan, nan, nan, nan)
+    lo, hi = float(arr.min()), float(arr.max())
+
+    def clamp(x: float) -> float:
+        return min(max(float(x), lo), hi)
+
     return DistStats(
         n=int(arr.size),
-        mean=float(arr.mean()),
+        mean=clamp(arr.mean()),
         std=float(arr.std()),
-        p50=float(np.percentile(arr, 50)),
-        p95=float(np.percentile(arr, 95)),
-        min=float(arr.min()),
-        max=float(arr.max()),
+        p50=clamp(np.percentile(arr, 50)),
+        p95=clamp(np.percentile(arr, 95)),
+        min=lo,
+        max=hi,
     )
 
 
@@ -175,8 +186,15 @@ class ResponseMetrics:
 
 
 def response_metrics(results: Iterable[InferenceResult]) -> ResponseMetrics:
-    """Build RT metrics from client-side inference results."""
-    results = list(results)
+    """Build RT metrics from client-side inference results.
+
+    Only successful replies contribute: a request that exhausted its busy
+    retries carries near-zero service/inference components and would drag
+    the RT mean down (and inflate throughput) exactly when the system is
+    overloaded.  Failures are counted by the experiment drivers instead
+    (:attr:`Exp23Result.failed_total`).
+    """
+    results = [r for r in results if r.ok]
     return ResponseMetrics(
         response_time=np.array([r.response_time for r in results]),
         communication=np.array([r.communication for r in results]),

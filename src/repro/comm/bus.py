@@ -103,6 +103,19 @@ class ClientSocket:
                       recipient=target, corr_id=None)
         self.bus._deliver(msg)
 
+    def cancel_request(self, event: Event) -> bool:
+        """Abandon an outstanding request (e.g. after a client timeout).
+
+        The correlation entry is removed so a late reply is dropped by the
+        demux instead of resolving an event nobody waits on.  Returns True
+        if the request was still pending.
+        """
+        for corr, pending in list(self._pending.items()):
+            if pending is event:
+                del self._pending[corr]
+                return True
+        return False
+
     @property
     def in_flight(self) -> int:
         return len(self._pending)

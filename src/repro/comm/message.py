@@ -14,9 +14,16 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-__all__ = ["Address", "Message", "estimate_size"]
+__all__ = ["Address", "Message", "LoadReport", "TELEMETRY_TOPIC",
+           "estimate_size"]
 
 _MSG_COUNTER = itertools.count()
+
+#: Pub/sub topic on which every service instance publishes its
+#: :class:`LoadReport` alongside the per-instance heartbeat topic.  The
+#: :class:`~repro.core.registry.EndpointRegistry` subscribes here so load
+#: balancers and the autoscaler can consume fleet-wide telemetry.
+TELEMETRY_TOPIC = "service.telemetry"
 
 #: Fixed framing overhead per message (headers, envelope), in bytes.
 ENVELOPE_OVERHEAD = 256
@@ -50,6 +57,43 @@ class Address:
 
     def __str__(self) -> str:
         return f"{self.name}@{self.platform}"
+
+
+@dataclass
+class LoadReport:
+    """Per-instance load telemetry carried on heartbeat messages.
+
+    ``ewma_service_s`` is the exponentially-weighted moving average of the
+    *marginal* per-request service cost (batch busy span divided by batch
+    size), so ``queue_depth * ewma_service_s / workers`` estimates the
+    queueing delay a newly-admitted request would see.
+    """
+
+    uid: str
+    t: float                      # simulation time the report was taken
+    queue_depth: int              # admitted requests waiting for a worker
+    in_flight: int                # requests currently being processed
+    ewma_service_s: float         # EWMA marginal per-request service time
+    handled: int                  # requests completed since start
+    shed: int                     # requests rejected with a busy reply
+    workers: int                  # concurrent worker loops
+    max_batch_size: int           # per-dispatch coalescing limit
+    queue_bound: int = 0          # admission bound (0 = unbounded)
+
+    @property
+    def capacity(self) -> int:
+        """Requests the instance can process concurrently."""
+        return self.workers * self.max_batch_size
+
+    @property
+    def backlog(self) -> int:
+        """Requests admitted but not yet completed."""
+        return self.queue_depth + self.in_flight
+
+    @property
+    def est_queue_delay_s(self) -> float:
+        """Estimated wait for a newly-admitted request (seconds)."""
+        return self.queue_depth * self.ewma_service_s / max(1, self.workers)
 
 
 @dataclass

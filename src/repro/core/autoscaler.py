@@ -1,0 +1,224 @@
+"""Autoscaler: elastic service-instance counts driven by load telemetry.
+
+The paper's runtime fixes the number of service instances at submission
+time and names elasticity as future work (§IV-E).  The
+:class:`Autoscaler` closes that loop: a control process in the
+ServiceManager watches the fleet's :class:`~repro.comm.message.LoadReport`
+telemetry in the :class:`~repro.core.registry.EndpointRegistry` and
+starts/stops instances to hold the estimated queueing delay under a target
+SLO:
+
+* **scale up** when the fleet-mean estimated queue delay
+  (``queue_depth * ewma_service_s / workers``) stays above
+  ``target_queue_delay_s`` for ``up_ticks`` consecutive evaluations --
+  bootstrapping instances count against ``max_instances`` so a slow model
+  load does not trigger a launch storm;
+* **scale down** when the fleet is below ``low_queue_delay_s`` with zero
+  backlog for ``down_ticks`` evaluations -- the least-loaded instance is
+  stopped (the ServiceManager drains it first, so admitted requests still
+  complete) and its endpoint deregisters before the drain, steering
+  registry-reading balancers away.
+
+Scaling actions are recorded in :attr:`Autoscaler.scale_events` and the
+instance-count time series in :attr:`Autoscaler.count_trace`, which the
+scaling-study benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..pilot.description import ServiceDescription
+from ..pilot.states import ServiceState
+from ..sim.events import Interrupt, Process
+from ..utils.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.task import Pilot
+    from .service_manager import ServiceHandle, ServiceManager
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+log = get_logger("core.autoscaler")
+
+
+@dataclass
+class AutoscalerConfig:
+    """Scaling policy knobs (all times in simulated seconds)."""
+
+    target_queue_delay_s: float = 2.0   # SLO: scale up above this
+    low_queue_delay_s: Optional[float] = None  # default: target / 4
+    interval_s: float = 5.0             # evaluation cadence
+    min_instances: int = 1
+    max_instances: int = 8
+    up_ticks: int = 2                   # consecutive breaches before up
+    down_ticks: int = 4                 # consecutive idles before down
+
+    def __post_init__(self) -> None:
+        if self.target_queue_delay_s <= 0:
+            raise ValueError("target_queue_delay_s must be positive")
+        if self.low_queue_delay_s is None:
+            self.low_queue_delay_s = self.target_queue_delay_s / 4.0
+        if not 0 <= self.low_queue_delay_s < self.target_queue_delay_s:
+            raise ValueError(
+                "low_queue_delay_s must be in [0, target_queue_delay_s)")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.min_instances < 1:
+            raise ValueError("min_instances must be >= 1")
+        if self.max_instances < self.min_instances:
+            raise ValueError("max_instances must be >= min_instances")
+        if self.up_ticks < 1 or self.down_ticks < 1:
+            raise ValueError("up_ticks and down_ticks must be >= 1")
+
+
+class Autoscaler:
+    """Grows and shrinks one service group against queue-delay SLOs."""
+
+    def __init__(self, smgr: "ServiceManager",
+                 description: ServiceDescription,
+                 pilot: Optional["Pilot"] = None,
+                 remote_platform: Optional[str] = None,
+                 config: Optional[AutoscalerConfig] = None,
+                 handles: Optional[List["ServiceHandle"]] = None) -> None:
+        if (pilot is None) == (remote_platform is None):
+            raise ValueError(
+                "exactly one of pilot / remote_platform is required")
+        self.smgr = smgr
+        self.description = description
+        self.pilot = pilot
+        self.remote_platform = remote_platform
+        self.config = config or AutoscalerConfig()
+        self.handles: List["ServiceHandle"] = list(handles or [])
+        #: handles scaled down or failed out of the group (kept so
+        #: fleet-wide statistics survive instance churn)
+        self.retired: List["ServiceHandle"] = []
+        #: (time, "up"|"down", instance count after the action)
+        self.scale_events: List[Tuple[float, str, int]] = []
+        #: (time, instance count) sampled every evaluation tick
+        self.count_trace: List[Tuple[float, int]] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._running = False
+        self._proc: Optional[Process] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        """Spawn the control loop (ensuring the min instance count)."""
+        if self._running:
+            raise RuntimeError("autoscaler already started")
+        self._running = True
+        while len(self._live()) < self.config.min_instances:
+            self._launch_one()
+        self._proc = self.smgr.session.engine.process(self._loop())
+        return self
+
+    def stop(self) -> None:
+        """Stop the control loop (instances keep running)."""
+        if not self._running:
+            return
+        self._running = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("autoscaler stopping")
+        self._proc = None
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def n_instances(self) -> int:
+        """Live (bootstrapping or ready) instances under management."""
+        return len(self._live())
+
+    def targets(self):
+        """Addresses of READY managed instances (for client workloads)."""
+        return [h.address for h in self.handles
+                if h.is_ready and h.address is not None]
+
+    @property
+    def all_handles(self) -> List["ServiceHandle"]:
+        """Every handle ever managed (live plus retired/failed)."""
+        return self.handles + self.retired
+
+    def _live(self) -> List["ServiceHandle"]:
+        live = [h for h in self.handles
+                if h.service_state not in (ServiceState.FAILED,
+                                           ServiceState.STOPPED,
+                                           ServiceState.STOPPING)]
+        failed = [h for h in self.handles
+                  if h.service_state == ServiceState.FAILED]
+        if failed:
+            self.retired.extend(failed)
+            self.handles = [h for h in self.handles
+                            if h.service_state != ServiceState.FAILED]
+        return live
+
+    # -- control loop -------------------------------------------------------------
+    def _loop(self):
+        engine = self.smgr.session.engine
+        cfg = self.config
+        try:
+            while self._running:
+                yield engine.timeout(cfg.interval_s)
+                self._evaluate()
+                self.count_trace.append((engine.now, len(self._live())))
+        except Interrupt:
+            return
+
+    def _evaluate(self) -> None:
+        cfg = self.config
+        live = self._live()
+        ready = [h for h in live if h.is_ready]
+        reports = [self.smgr.registry.load_of(h.uid) for h in ready]
+        reports = [r for r in reports if r is not None]
+        if not reports:
+            # No telemetry yet (fleet still bootstrapping): do nothing.
+            self._up_streak = self._down_streak = 0
+            return
+
+        delays = [r.est_queue_delay_s for r in reports]
+        mean_delay = sum(delays) / len(delays)
+        backlog = sum(r.backlog for r in reports)
+
+        if mean_delay > cfg.target_queue_delay_s:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif max(delays) < cfg.low_queue_delay_s and backlog == 0:
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = self._down_streak = 0
+
+        now = self.smgr.session.engine.now
+        if self._up_streak >= cfg.up_ticks and len(live) < cfg.max_instances:
+            self._launch_one()
+            self._up_streak = 0
+            self.scale_events.append((now, "up", len(self._live())))
+            log.info("t=%.1fs scale up -> %d instances (delay %.2fs)",
+                     now, len(self._live()), mean_delay)
+        elif (self._down_streak >= cfg.down_ticks
+              and len(ready) > 0 and len(live) > cfg.min_instances):
+            victim = self._pick_victim(ready)
+            self.smgr.stop_services(victim)
+            self.handles.remove(victim)
+            self.retired.append(victim)
+            self._down_streak = 0
+            self.scale_events.append((now, "down", len(self._live())))
+            log.info("t=%.1fs scale down -> %d instances",
+                     now, len(self._live()))
+
+    def _launch_one(self) -> "ServiceHandle":
+        desc = self.description.copy()
+        desc.endpoint_name = ""  # each instance needs a unique endpoint
+        if self.pilot is not None:
+            (handle,) = self.smgr.start_services(desc, self.pilot)
+        else:
+            handle = self.smgr.start_remote(desc, self.remote_platform)
+        self.handles.append(handle)
+        return handle
+
+    def _pick_victim(self, ready: List["ServiceHandle"]) -> "ServiceHandle":
+        """Stop the instance with the smallest published backlog."""
+        def backlog(handle: "ServiceHandle") -> int:
+            report = self.smgr.registry.load_of(handle.uid)
+            return report.backlog if report is not None else 0
+        return min(ready, key=backlog)

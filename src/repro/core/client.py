@@ -7,13 +7,22 @@ client records the total response time (RT) and splits it into
 * ``service``       -- server-side queueing + parse + serialise;
 * ``inference``     -- backend busy window (IT).
 
+On top of the paper's baseline the client understands the adaptive data
+plane's admission control: a service whose bounded queue is full replies
+``busy`` instead of queueing forever, and the client retries with jittered
+exponential backoff (re-picking the target when a load balancer is in
+play).  An optional per-request timeout bounds the wait on a dead or
+drained instance; timed-out requests are retried like busy ones.  Load
+balancer in-flight accounting is maintained around every attempt, so no
+exit path (reply, busy, timeout, interrupt) leaks a ``record_start``.
+
 Results accumulate on the client and feed :mod:`repro.analytics.metrics`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..comm.message import Address, Message
 from ..utils.log import get_logger
@@ -22,9 +31,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..pilot.session import Session
     from .load_balancer import LoadBalancer
 
-__all__ = ["InferenceResult", "ServiceClient"]
+__all__ = ["InferenceResult", "RequestTimeout", "ServiceClient"]
 
 log = get_logger("core.client")
+
+
+class RequestTimeout(Exception):
+    """A request got no reply within the client's timeout (after retries)."""
 
 
 @dataclass
@@ -42,39 +55,138 @@ class InferenceResult:
     inference_time: float         # backend busy window (IT)
     queue_time: float             # part of service_time spent waiting
     payload: Dict[str, Any] = field(default_factory=dict)
+    retries: int = 0              # busy/timeout retries before this reply
 
     @property
     def text(self) -> str:
         return self.payload.get("text", "")
+
+    @property
+    def busy(self) -> bool:
+        """True when the final reply was an admission-control rejection."""
+        return bool(self.payload.get("busy", False))
 
 
 class ServiceClient:
     """A client task issuing requests to service endpoints."""
 
     def __init__(self, session: "Session", platform: str,
-                 uid: Optional[str] = None) -> None:
+                 uid: Optional[str] = None,
+                 max_retries: int = 6,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 5.0,
+                 timeout_s: Optional[float] = None) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base_s <= 0 or backoff_cap_s <= 0:
+            raise ValueError("backoff parameters must be positive")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
         self.session = session
         self.uid = uid or session.ids.generate("client")
         self.platform = platform
         self.socket = session.bus.connect(platform, name=f"{self.uid}.sock")
         self.results: List[InferenceResult] = []
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.timeout_s = timeout_s
+        self._rng = session.rng(f"client.{self.uid}")
+        # -- statistics --
+        self.busy_replies = 0
+        self.timeouts = 0
+        self.retries = 0
 
     # -- single request -------------------------------------------------------------
     def infer(self, target: Address, prompt: str,
-              params: Optional[Dict[str, Any]] = None):
+              params: Optional[Dict[str, Any]] = None,
+              balancer: Optional["LoadBalancer"] = None,
+              targets: Optional[Sequence[Address]] = None):
         """Process body: one request/reply; returns :class:`InferenceResult`.
 
         Use as ``result = yield from client.infer(addr, "...")`` inside a
-        simulation process.
+        simulation process.  Busy replies (bounded-queue shedding) and
+        timeouts are retried up to ``max_retries`` times with jittered
+        exponential backoff; when *balancer* (and optionally *targets*) are
+        given, each retry re-picks the target and the balancer's in-flight
+        accounting is updated on every exit path.
         """
         engine = self.session.engine
-        t0 = engine.now
-        reply: Message = yield self.socket.request(
-            target, {"op": "infer", "prompt": prompt, "params": params or {}})
-        t1 = engine.now
-        result = self._decompose(reply, t0, t1)
-        self.results.append(result)
-        return result
+        payload = {"op": "infer", "prompt": prompt, "params": params or {}}
+        t_first = engine.now
+        attempt = 0
+        while True:
+            t0 = engine.now
+            reply: Optional[Message] = None
+            if balancer is not None:
+                balancer.record_start(target)
+            try:
+                reply = yield from self._request(target, payload)
+            finally:
+                if balancer is not None:
+                    balancer.record_done(target)
+
+            if reply is not None:
+                result = self._decompose(reply, t0, engine.now)
+                result.retries = attempt
+                if not result.busy:
+                    result.submitted_at = t_first
+                    result.response_time = engine.now - t_first
+                    result.communication = (result.response_time
+                                            - result.service_time
+                                            - result.inference_time)
+                    self.results.append(result)
+                    return result
+                self.busy_replies += 1
+            else:
+                self.timeouts += 1
+
+            if attempt >= self.max_retries:
+                if reply is None:
+                    raise RequestTimeout(
+                        f"{self.uid}: no reply from {target} after "
+                        f"{attempt + 1} attempts")
+                # Shed on every attempt: surface the busy result, spanning
+                # the whole retry window like the success path does.
+                result.submitted_at = t_first
+                result.response_time = engine.now - t_first
+                result.communication = (result.response_time
+                                        - result.service_time
+                                        - result.inference_time)
+                self.results.append(result)
+                return result
+
+            attempt += 1
+            self.retries += 1
+            yield engine.timeout(self._backoff(attempt))
+            if balancer is not None and targets:
+                target = balancer.pick(targets)
+
+    def _request(self, target: Address, payload: Dict[str, Any]):
+        """Process body: one wire exchange, honouring ``timeout_s``.
+
+        Returns the reply message, or None when the timeout expired first
+        (the pending request is abandoned so a late reply is dropped).
+        """
+        engine = self.session.engine
+        event = self.socket.request(target, dict(payload))
+        if self.timeout_s is None:
+            reply = yield event
+            return reply
+        timer = engine.timeout(self.timeout_s)
+        yield engine.any_of([event, timer])
+        if event.processed:
+            if not timer.processed:
+                timer.cancel()
+            return event.value
+        self.socket.cancel_request(event)
+        return None
+
+    def _backoff(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry number *attempt*."""
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** (attempt - 1)))
+        return float(base * self._rng.uniform(0.5, 1.5))
 
     def ping(self, target: Address):
         """Process body: liveness probe; returns round-trip seconds."""
@@ -111,7 +223,7 @@ class ServiceClient:
         )
 
     # -- request streams --------------------------------------------------------------
-    def run_workload(self, targets: Sequence[Address], n_requests: int,
+    def run_workload(self, targets, n_requests: int,
                      prompt: str = "noop",
                      params: Optional[Dict[str, Any]] = None,
                      balancer: Optional["LoadBalancer"] = None):
@@ -119,22 +231,29 @@ class ServiceClient:
 
         Each client sends a fixed number of requests (1024 in Exp 2/3) one
         after another; the target for each request comes from the load
-        balancer (round-robin by default over *targets*).
-        Returns the list of results.
+        balancer (round-robin by default over *targets*).  *targets* may be
+        a static address sequence or a zero-argument callable returning the
+        currently-available addresses (autoscaled fleets grow and shrink
+        between requests).  Returns the list of results.
         """
         from .load_balancer import RoundRobinBalancer  # avoid cycle
 
-        if not targets:
+        engine = self.session.engine
+        resolve = targets if callable(targets) else (lambda: targets)
+        if not callable(targets) and not targets:
             raise ValueError("run_workload needs at least one target")
         balancer = balancer or RoundRobinBalancer()
         mine: List[InferenceResult] = []
         for _ in range(n_requests):
-            target = balancer.pick(targets)
-            balancer.record_start(target)
-            try:
-                result = yield from self.infer(target, prompt, params)
-            finally:
-                balancer.record_done(target)
+            current = list(resolve())
+            while not current:
+                # Fleet momentarily empty (autoscaler rebuilding): wait.
+                yield engine.timeout(0.1)
+                current = list(resolve())
+            target = balancer.pick(current)
+            result = yield from self.infer(target, prompt, params,
+                                           balancer=balancer,
+                                           targets=current)
             mine.append(result)
         return mine
 

@@ -2,21 +2,39 @@
 
 The paper employs "only a rudimentary load balancing" (§IV-E) -- i.e.
 round-robin -- and names dynamic rerouting "to less used service instances"
-as future work.  Both are implemented here (plus a random baseline) and
-compared by the load-balancer ablation benchmark.
+as future work.  Both are implemented here (plus a random baseline), and
+two telemetry-aware policies consume the load reports service instances
+publish to the :class:`~repro.core.registry.EndpointRegistry` on every
+heartbeat:
+
+* :class:`LeastLoadedBalancer` -- fewest in-flight requests.  Without a
+  registry it counts only requests *this* balancer routed (the client-local
+  approximation); with a registry it adds the published fleet-wide backlog,
+  making it a true least-loaded policy under many independent clients.
+* :class:`JoinShortestQueueBalancer` -- classic JSQ on the published queue
+  depth, normalised by instance capacity so a batching instance with four
+  queued requests beats a serial one with two.
+
+Published telemetry is heartbeat-periodic and therefore *stale*; both
+policies add the balancer-local in-flight count as an optimistic correction
+for requests sent since the last report.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..comm.message import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import EndpointRegistry
 
 __all__ = [
     "LoadBalancer",
     "RoundRobinBalancer",
     "RandomBalancer",
     "LeastLoadedBalancer",
+    "JoinShortestQueueBalancer",
     "create_balancer",
 ]
 
@@ -66,22 +84,22 @@ class RandomBalancer(LoadBalancer):
         return targets[int(self._rng.integers(len(targets)))]
 
 
-class LeastLoadedBalancer(LoadBalancer):
-    """Future-work policy: route to the instance with fewest in-flight
-    requests (ties broken round-robin)."""
-
-    name = "least-loaded"
+class _ScoredBalancer(LoadBalancer):
+    """Shared machinery: pick the minimum-score target, ties round-robin."""
 
     def __init__(self) -> None:
         self._in_flight: Dict[Address, int] = {}
         self._next = 0
 
+    def _score(self, target: Address) -> float:
+        raise NotImplementedError
+
     def pick(self, targets: Sequence[Address]) -> Address:
         if not targets:
             raise ValueError("no targets")
-        loads = [(self._in_flight.get(t, 0), i) for i, t in enumerate(targets)]
-        min_load = min(load for load, _ in loads)
-        candidates = [i for load, i in loads if load == min_load]
+        scores = [(self._score(t), i) for i, t in enumerate(targets)]
+        best = min(score for score, _ in scores)
+        candidates = [i for score, i in scores if score == best]
         choice = candidates[self._next % len(candidates)]
         self._next += 1
         return targets[choice]
@@ -97,7 +115,55 @@ class LeastLoadedBalancer(LoadBalancer):
         return self._in_flight.get(target, 0)
 
 
-def create_balancer(name: str, rng=None) -> LoadBalancer:
+class LeastLoadedBalancer(_ScoredBalancer):
+    """Route to the instance with the fewest in-flight requests.
+
+    Without *registry*, only locally-routed requests count (the seed
+    behaviour).  With *registry*, the published fleet-wide backlog is added,
+    so load caused by *other* clients is seen too.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, registry: Optional["EndpointRegistry"] = None) -> None:
+        super().__init__()
+        self.registry = registry
+
+    def _score(self, target: Address) -> float:
+        score = float(self._in_flight.get(target, 0))
+        if self.registry is not None:
+            report = self.registry.load_for(target)
+            if report is not None:
+                score += report.backlog
+        return score
+
+
+class JoinShortestQueueBalancer(_ScoredBalancer):
+    """JSQ over published telemetry, capacity-normalised.
+
+    The score is the estimated wait in *dispatch rounds*: published backlog
+    plus locally-unreported sends, divided by the instance's concurrent
+    capacity (workers x batch size).  Instances without telemetry yet score
+    by local in-flight only, so cold fleets degrade to least-loaded.
+    """
+
+    name = "join-shortest-queue"
+
+    def __init__(self, registry: "EndpointRegistry") -> None:
+        super().__init__()
+        if registry is None:
+            raise ValueError("JoinShortestQueueBalancer needs a registry")
+        self.registry = registry
+
+    def _score(self, target: Address) -> float:
+        local = self._in_flight.get(target, 0)
+        report = self.registry.load_for(target)
+        if report is None:
+            return float(local)
+        return (report.backlog + local) / max(1, report.capacity)
+
+
+def create_balancer(name: str, rng=None, registry=None) -> LoadBalancer:
     """Factory by policy name."""
     if name == "round-robin":
         return RoundRobinBalancer()
@@ -106,5 +172,9 @@ def create_balancer(name: str, rng=None) -> LoadBalancer:
             raise ValueError("random balancer needs an rng")
         return RandomBalancer(rng)
     if name == "least-loaded":
-        return LeastLoadedBalancer()
+        return LeastLoadedBalancer(registry=registry)
+    if name == "join-shortest-queue":
+        if registry is None:
+            raise ValueError("join-shortest-queue needs a registry")
+        return JoinShortestQueueBalancer(registry)
     raise KeyError(f"unknown balancer {name!r}")

@@ -6,6 +6,16 @@ The registry is itself a bus-served component: services register over
 request/reply (paying a fabric round-trip plus the registry's processing
 cost), and clients/load-balancers look endpoints up either over the bus or
 through the cheap in-process read path.
+
+The registry also ingests the fleet's load telemetry: every service
+instance publishes a :class:`~repro.comm.message.LoadReport` on
+:data:`~repro.comm.message.TELEMETRY_TOPIC` with each heartbeat, and the
+registry attaches the latest report to the corresponding
+:class:`ServiceInfo`.  Telemetry-aware load balancers
+(:class:`~repro.core.load_balancer.JoinShortestQueueBalancer`) and the
+:class:`~repro.core.autoscaler.Autoscaler` read it from here.  Reports
+arrive with fabric latency and heartbeat cadence, so consumers see
+*stale* load -- exactly the information regime a real control plane has.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from ..comm.message import Address, Message
+from ..comm.message import TELEMETRY_TOPIC, Address, LoadReport, Message
 from ..utils.log import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +52,8 @@ class ServiceInfo:
     platform: str
     registered_at: float = 0.0
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: latest load telemetry (None until the first heartbeat arrives)
+    load: Optional[LoadReport] = None
 
 
 class EndpointRegistry:
@@ -53,8 +65,13 @@ class EndpointRegistry:
         self.platform = platform
         self.socket = session.bus.bind(name, platform=platform)
         self._entries: Dict[str, ServiceInfo] = {}
+        self._by_uid: Dict[str, ServiceInfo] = {}
+        self._loads: Dict[str, LoadReport] = {}
         self._rng = session.rng(f"registry.{name}")
         self._server = session.engine.process(self._serve())
+        self._telemetry_sub = session.bus.subscribe(TELEMETRY_TOPIC,
+                                                    platform=platform)
+        self._telemetry = session.engine.process(self._ingest_telemetry())
 
     @property
     def address(self) -> Address:
@@ -86,9 +103,13 @@ class EndpointRegistry:
             info = msg.payload["info"]
             info.registered_at = engine.now
             self._entries[info.name] = info
+            self._by_uid[info.uid] = info
             self.socket.reply(msg, {"ok": True, "name": info.name})
         elif op == "deregister":
             found = self._entries.pop(msg.payload["name"], None)
+            if found is not None:
+                self._by_uid.pop(found.uid, None)
+                self._loads.pop(found.uid, None)
             self.socket.reply(msg, {"ok": found is not None})
         elif op == "lookup":
             info = self._entries.get(msg.payload["name"])
@@ -100,9 +121,41 @@ class EndpointRegistry:
             self.socket.reply(msg, {"ok": False,
                                     "error": f"unknown op {op!r}"})
 
+    # -- telemetry ingestion -------------------------------------------------------
+    def _ingest_telemetry(self):
+        """Consume fleet LoadReports published on the telemetry topic."""
+        while True:
+            msg: Message = yield self._telemetry_sub.get()
+            report = msg.payload
+            if not isinstance(report, LoadReport):
+                log.warning("ignoring malformed telemetry %r", report)
+                continue
+            info = self._by_uid.get(report.uid)
+            if info is None:
+                # Not (or no longer) registered: a deregistered instance
+                # keeps heartbeating while it drains -- storing its report
+                # would leave a permanently stale entry behind.
+                continue
+            # Keep only the freshest report per instance (pub/sub legs from
+            # different platforms may reorder).
+            known = self._loads.get(report.uid)
+            if known is not None and known.t > report.t:
+                continue
+            self._loads[report.uid] = report
+            info.load = report
+
     # -- cheap in-process reads (used by load balancers and tests) -----------------
     def lookup(self, name: str) -> Optional[ServiceInfo]:
         return self._entries.get(name)
+
+    def load_of(self, uid: str) -> Optional[LoadReport]:
+        """Latest telemetry for a service uid (None before first beat)."""
+        return self._loads.get(uid)
+
+    def load_for(self, address: Address) -> Optional[LoadReport]:
+        """Latest telemetry for the instance bound at *address*."""
+        info = self._entries.get(address.name)
+        return info.load if info is not None else None
 
     def list_services(self, model: Optional[str] = None,
                       platform: Optional[str] = None) -> List[ServiceInfo]:

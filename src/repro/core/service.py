@@ -1,11 +1,26 @@
 """ServiceInstance: the running, request-serving side of a service task.
 
-Implements the paper's Service Base Class semantics (§III): a service
-exposes a well-defined request/reply API over the communication
-infrastructure, is available to receive calls at any time once READY, and --
-matching §IV -- handles requests with bounded concurrency (1 for the
-Ollama-like host: "services are single-threaded ... queuing further
-incoming requests").
+Implements the paper's Service Base Class semantics (§III) extended into an
+adaptive data plane.  The paper's baseline -- "services are single-threaded
+... queuing further incoming requests" (§IV) with an unbounded inbox -- is
+the degenerate configuration (one worker, batch size 1, no queue bound).
+Beyond it the instance supports:
+
+* **continuous batching** -- each worker dispatch coalesces up to
+  ``host.max_batch_size`` queued requests into one backend call, whose cost
+  model (:meth:`~repro.serving.hosts.ServingHost.infer_batch`) scales
+  sub-linearly in batch size;
+* **bounded admission** -- an admission loop moves inbox messages into an
+  internal queue bounded at ``max_queue_depth``; overflowing requests are
+  *shed* with an immediate, typed ``busy`` reply instead of queueing
+  forever (clients retry with backoff, see
+  :class:`~repro.core.client.ServiceClient`);
+* **load telemetry** -- queue depth, in-flight count and an EWMA of the
+  marginal per-request service time are published on every heartbeat (both
+  on the per-instance topic and the shared
+  :data:`~repro.comm.message.TELEMETRY_TOPIC` the registry ingests);
+* **draining** -- an orderly stop finishes admitted requests while
+  shedding new arrivals, so autoscaling down never drops in-flight work.
 
 Request handling records the timestamps the client needs to decompose
 response time exactly as the paper does:
@@ -23,9 +38,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..comm.bus import ServerSocket
-from ..comm.message import Message, estimate_size
+from ..comm.message import TELEMETRY_TOPIC, LoadReport, Message, estimate_size
 from ..serving.hosts import ServingHost
 from ..sim.events import Interrupt, Process
+from ..sim.resources import Store
 from ..utils.log import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,27 +51,45 @@ __all__ = ["ServiceInstance"]
 
 log = get_logger("core.service")
 
+#: EWMA smoothing factor for the marginal per-request service time.
+EWMA_ALPHA = 0.25
+
+#: Poll interval while draining admitted work during an orderly stop.
+DRAIN_POLL_S = 0.1
+
 
 class ServiceInstance:
-    """Data plane of one service: workers draining the request inbox."""
+    """Data plane of one service: admission control + batching workers."""
 
     def __init__(self, session: "Session", uid: str, socket: ServerSocket,
                  host: ServingHost,
-                 heartbeat_interval_s: float = 10.0) -> None:
+                 heartbeat_interval_s: float = 10.0,
+                 max_queue_depth: int = 0) -> None:
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0 (0 = unbounded)")
         self.session = session
         self.uid = uid
         self.socket = socket
         self.host = host
         self.heartbeat_interval_s = heartbeat_interval_s
+        #: admitted-queue bound; 0 means unbounded (the paper's baseline)
+        self.max_queue_depth = max_queue_depth
         self._rng = session.rng(f"service.{uid}")
+        self._queue: Store = Store(session.engine)
+        self._admission: Optional[Process] = None
         self._workers: List[Process] = []
         self._heartbeat: Optional[Process] = None
         self._running = False
-        self._active_inferences = 0
+        self._draining = False
+        self._active_dispatches = 0
+        self._in_flight = 0
         # -- statistics --
         self.requests_handled = 0
+        self.batches_handled = 0
+        self.shed_count = 0
         self.busy_time_s = 0.0
         self.max_queue_seen = 0
+        self.ewma_service_s = 0.0
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -64,24 +98,38 @@ class ServiceInstance:
 
     @property
     def queue_depth(self) -> int:
-        """Requests waiting in the inbox right now."""
-        return self.socket.pending
+        """Requests admitted and waiting for a worker (plus unread inbox)."""
+        return len(self._queue) + self.socket.pending
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being processed by workers."""
+        return self._in_flight
 
     def start(self) -> None:
-        """Spawn worker loops (one per concurrency slot) and heartbeats."""
+        """Spawn admission, worker loops (one per slot) and heartbeats."""
         if self._running:
             raise RuntimeError(f"{self.uid} already started")
         self._running = True
+        engine = self.session.engine
+        self._admission = engine.process(self._admit())
         for _ in range(self.host.max_concurrency):
-            self._workers.append(
-                self.session.engine.process(self._worker()))
-        self._heartbeat = self.session.engine.process(self._beat())
+            self._workers.append(engine.process(self._worker()))
+        self._heartbeat = engine.process(self._beat())
 
     def stop(self) -> None:
-        """Stop serving: idle workers are interrupted, busy ones finish."""
+        """Stop serving immediately: all loops are interrupted.
+
+        Admitted-but-unserved requests are dropped (their clients see a
+        timeout, like a crashed server).  For an orderly shutdown run
+        :meth:`drain` first.
+        """
         if not self._running:
             return
         self._running = False
+        if self._admission is not None and self._admission.is_alive:
+            self._admission.interrupt("service stopping")
+        self._admission = None
         for worker in self._workers:
             if worker.is_alive:
                 worker.interrupt("service stopping")
@@ -91,29 +139,66 @@ class ServiceInstance:
         self._heartbeat = None
         self.socket.close()
 
-    # -- heartbeats ------------------------------------------------------------------
+    def drain(self):
+        """Process body: shed new work, wait for admitted work to finish.
+
+        Use as ``yield from instance.drain()`` before :meth:`stop` for a
+        graceful shutdown (every admitted request still gets its reply).
+        """
+        engine = self.session.engine
+        self._draining = True
+        while self._running and (len(self._queue) or self._in_flight):
+            yield engine.timeout(DRAIN_POLL_S)
+
+    # -- telemetry ------------------------------------------------------------------
+    def load_report(self) -> LoadReport:
+        """Snapshot of this instance's load for heartbeats/registry."""
+        return LoadReport(
+            uid=self.uid,
+            t=self.session.engine.now,
+            queue_depth=len(self._queue),
+            in_flight=self._in_flight,
+            ewma_service_s=self.ewma_service_s,
+            handled=self.requests_handled,
+            shed=self.shed_count,
+            workers=self.host.max_concurrency,
+            max_batch_size=self.host.max_batch_size,
+            queue_bound=self.max_queue_depth,
+        )
+
     def _beat(self):
         engine = self.session.engine
         try:
             while self._running:
-                self.session.bus.publish(
-                    f"heartbeat.{self.uid}",
-                    {"uid": self.uid, "t": engine.now,
-                     "queue": self.queue_depth,
-                     "handled": self.requests_handled},
-                    sender=self.socket.address)
+                report = self.load_report()
+                # Legacy liveness keys plus the full report; the remaining
+                # telemetry fields live in the report, not flattened copies.
+                payload = {
+                    "uid": self.uid, "t": engine.now,
+                    "queue": report.queue_depth,
+                    "handled": report.handled,
+                    "load": report,
+                }
+                self.session.bus.publish(f"heartbeat.{self.uid}", payload,
+                                         sender=self.socket.address)
+                self.session.bus.publish(TELEMETRY_TOPIC, report,
+                                         sender=self.socket.address)
                 yield engine.timeout(self.heartbeat_interval_s)
         except Interrupt:
             return
 
-    # -- request handling -------------------------------------------------------------
-    def _worker(self):
+    # -- admission ------------------------------------------------------------------
+    def _admit(self):
+        """Move inbox messages into the bounded internal queue.
+
+        Control operations (``ping``/``stop``) are handled inline so
+        liveness probes never wait behind queued inference work.  Inference
+        requests beyond ``max_queue_depth`` are shed with a ``busy`` reply.
+        """
         engine = self.session.engine
         try:
             while self._running:
                 msg: Message = yield self.socket.recv()
-                self.max_queue_seen = max(self.max_queue_seen,
-                                          self.queue_depth + 1)
                 payload = msg.payload or {}
                 op = payload.get("op", "infer")
                 if op == "ping":
@@ -123,7 +208,6 @@ class ServiceInstance:
                     continue
                 if op == "stop":
                     self.socket.reply(msg, {"ok": True, "stopped": self.uid})
-                    # Stop all workers (including this one).
                     self.stop()
                     return
                 if op != "infer":
@@ -131,53 +215,106 @@ class ServiceInstance:
                         msg, {"ok": False, "error": f"unknown op {op!r}"},
                         meta=self._stamp(msg, engine.now, engine.now))
                     continue
-                yield from self._handle_inference(msg)
+                if self._draining or (
+                        self.max_queue_depth
+                        and len(self._queue) >= self.max_queue_depth):
+                    self._shed(msg)
+                    continue
+                self._queue.put(msg)
+                self.max_queue_seen = max(self.max_queue_seen,
+                                          len(self._queue))
         except Interrupt:
             return
 
-    def _handle_inference(self, msg: Message):
+    def _shed(self, msg: Message) -> None:
+        """Reject *msg* with a typed busy reply (no queueing)."""
+        now = self.session.engine.now
+        self.shed_count += 1
+        self.socket.reply(
+            msg,
+            {"ok": False, "busy": True, "error": "busy",
+             "queue_depth": len(self._queue),
+             "queue_bound": self.max_queue_depth},
+            meta=self._stamp(msg, now, now))
+
+    # -- request handling -------------------------------------------------------------
+    def _worker(self):
+        try:
+            while self._running:
+                first: Message = yield self._queue.get()
+                batch = [first]
+                # Coalesce whatever else is already queued, up to the batch
+                # limit.  Items present in the store imply no other getter is
+                # waiting, so draining them directly is race-free.
+                while (len(batch) < self.host.max_batch_size
+                       and len(self._queue)):
+                    batch.append(self._queue.items.popleft())
+                yield from self._handle_batch(batch)
+        except Interrupt:
+            return
+
+    def _handle_batch(self, batch: List[Message]):
         engine = self.session.engine
         dequeued_at = engine.now
-        # Parse/deserialise the request.
-        parse_s = self.host.parse_time(msg.nbytes, self._rng)
-        if parse_s > 0:
-            yield engine.timeout(parse_s)
-        prompt = (msg.payload or {}).get("prompt", "")
-        params = (msg.payload or {}).get("params") or {}
-
-        infer_start_at = engine.now
-        self._active_inferences += 1
+        self._in_flight += len(batch)
+        self._active_dispatches += 1
         try:
-            result, duration = self.host.infer(
-                prompt, self._rng, params, n_active=self._active_inferences)
+            # Parse/deserialise the coalesced requests (vectorised decode:
+            # one dispatch overhead plus the per-byte cost of every message).
+            parse_s = self.host.parse_time(
+                sum(m.nbytes for m in batch), self._rng)
+            if parse_s > 0:
+                yield engine.timeout(parse_s)
+            prompts = [(m.payload or {}).get("prompt", "") for m in batch]
+            params_list = [(m.payload or {}).get("params") or {}
+                           for m in batch]
+
+            infer_start_at = engine.now
+            results, duration = self.host.infer_batch(
+                prompts, self._rng, params_list,
+                n_active=self._active_dispatches)
             if duration > 0:
                 yield engine.timeout(duration)
+            infer_stop_at = engine.now
+
+            reply_payloads = [{
+                "ok": True,
+                "text": result.text,
+                "model": result.model,
+                "prompt_tokens": result.prompt_tokens,
+                "completion_tokens": result.completion_tokens,
+            } for result in results]
+            serialize_s = self.host.serialize_time(
+                sum(estimate_size(p) for p in reply_payloads), self._rng)
+            if serialize_s > 0:
+                yield engine.timeout(serialize_s)
+
+            span = engine.now - dequeued_at
+            self.requests_handled += len(batch)
+            self.batches_handled += 1
+            self.busy_time_s += span
+            self._update_ewma(span / len(batch))
+            for msg, reply_payload in zip(batch, reply_payloads):
+                self.socket.reply(
+                    msg, reply_payload,
+                    meta=self._stamp(msg, infer_start_at, infer_stop_at,
+                                     dequeued_at=dequeued_at,
+                                     batch_size=len(batch)))
         finally:
-            self._active_inferences -= 1
-        infer_stop_at = engine.now
+            self._in_flight -= len(batch)
+            self._active_dispatches -= 1
 
-        reply_payload = {
-            "ok": True,
-            "text": result.text,
-            "model": result.model,
-            "prompt_tokens": result.prompt_tokens,
-            "completion_tokens": result.completion_tokens,
-        }
-        serialize_s = self.host.serialize_time(
-            estimate_size(reply_payload), self._rng)
-        if serialize_s > 0:
-            yield engine.timeout(serialize_s)
-
-        self.requests_handled += 1
-        self.busy_time_s += engine.now - dequeued_at
-        self.socket.reply(
-            msg, reply_payload,
-            meta=self._stamp(msg, infer_start_at, infer_stop_at,
-                             dequeued_at=dequeued_at))
+    def _update_ewma(self, marginal_s: float) -> None:
+        if self.ewma_service_s == 0.0:
+            self.ewma_service_s = marginal_s
+        else:
+            self.ewma_service_s = (EWMA_ALPHA * marginal_s
+                                   + (1.0 - EWMA_ALPHA) * self.ewma_service_s)
 
     def _stamp(self, msg: Message, infer_start_at: float,
                infer_stop_at: float,
-               dequeued_at: Optional[float] = None) -> Dict[str, Any]:
+               dequeued_at: Optional[float] = None,
+               batch_size: int = 1) -> Dict[str, Any]:
         """Reply metadata carrying the RT-decomposition timestamps."""
         now = self.session.engine.now
         return {
@@ -187,4 +324,5 @@ class ServiceInstance:
             "infer_stop_at": infer_stop_at,
             "replied_at": now,
             "service_uid": self.uid,
+            "batch_size": batch_size,
         }

@@ -13,6 +13,13 @@ running, discoverable, monitored service instances:
 * **ready**   -- the instance serves requests until stopped; liveness is
   observable via heartbeats and the ``watch_liveness`` watchdog.
 
+Orderly shutdown deregisters the endpoint *first* (telemetry-reading load
+balancers stop routing there), then drains the instance's admitted
+requests, then tears the data plane down -- so scaling down never drops
+in-flight work.  :meth:`ServiceManager.start_autoscaler` attaches an
+:class:`~repro.core.autoscaler.Autoscaler` that grows and shrinks a
+service group against queue-delay SLOs using the registry's telemetry.
+
 Remote services (the paper's R3 scenario) attach to persistent endpoints:
 "Remote models are usually persistent on dedicated resources and do not
 need to be bootstrapped" (§IV-A) -- so ``start_remote`` registers them
@@ -30,6 +37,7 @@ from ..pilot.task import Pilot, Task
 from ..serving.hosts import create_host
 from ..sim.events import Event, Interrupt, Process
 from ..utils.log import get_logger
+from .autoscaler import Autoscaler, AutoscalerConfig
 from .registry import EndpointRegistry, ServiceInfo
 from .service import ServiceInstance
 
@@ -163,7 +171,8 @@ class ServiceManager:
             handle.advance_service(ServiceState.INITIALIZING)
             profiler.record(engine.now, handle.uid, "init_start", self.uid)
             host = create_host(desc.backend, desc.model,
-                               max_concurrency=desc.max_concurrency)
+                               max_concurrency=desc.max_concurrency,
+                               max_batch_size=desc.max_batch_size or None)
             rng = self.session.rng(f"smgr.init.{handle.uid}")
             self._loading[platform.name] = \
                 self._loading.get(platform.name, 0) + 1
@@ -194,7 +203,8 @@ class ServiceManager:
             # -- ready ---------------------------------------------------------------
             handle.instance = ServiceInstance(
                 self.session, handle.uid, socket, host,
-                heartbeat_interval_s=desc.heartbeat_interval_s)
+                heartbeat_interval_s=desc.heartbeat_interval_s,
+                max_queue_depth=desc.max_queue_depth)
             handle.instance.start()
             handle.advance_service(ServiceState.READY)
             profiler.record(engine.now, handle.uid, "bootstrap_stop",
@@ -206,10 +216,13 @@ class ServiceManager:
             # -- serve until stop requested ---------------------------------------------
             yield handle._stop_requested
             handle.advance_service(ServiceState.STOPPING)
-            handle.instance.stop()
+            # Deregister first (no new traffic routes here), then drain so
+            # every admitted request still gets its reply, then tear down.
             yield self._reg_sock.request(self.registry.address,
                                          {"op": "deregister",
                                           "name": endpoint})
+            yield from handle.instance.drain()
+            handle.instance.stop()
             handle.advance_service(ServiceState.STOPPED)
             task.finish(TaskState.DONE, self.uid)
         except Interrupt as intr:
@@ -266,7 +279,8 @@ class ServiceManager:
             socket = self.session.bus.bind(endpoint, platform=platform)
             handle.address = socket.address
             host = create_host(desc.backend, desc.model,
-                               max_concurrency=desc.max_concurrency)
+                               max_concurrency=desc.max_concurrency,
+                               max_batch_size=desc.max_batch_size or None)
             info = ServiceInfo(
                 uid=handle.uid, name=endpoint, address=socket.address,
                 model=desc.model, backend=desc.backend, platform=platform,
@@ -275,17 +289,19 @@ class ServiceManager:
                                          {"op": "register", "info": info})
             handle.instance = ServiceInstance(
                 self.session, handle.uid, socket, host,
-                heartbeat_interval_s=desc.heartbeat_interval_s)
+                heartbeat_interval_s=desc.heartbeat_interval_s,
+                max_queue_depth=desc.max_queue_depth)
             handle.instance.start()
             handle.advance_service(ServiceState.READY)
             handle.ready.succeed(handle)
 
             yield handle._stop_requested
             handle.advance_service(ServiceState.STOPPING)
-            handle.instance.stop()
             yield self._reg_sock.request(self.registry.address,
                                          {"op": "deregister",
                                           "name": endpoint})
+            yield from handle.instance.drain()
+            handle.instance.stop()
             handle.advance_service(ServiceState.STOPPED)
         except Interrupt as intr:
             self._fail_handle(handle, RuntimeError(str(intr.cause)))
@@ -294,6 +310,26 @@ class ServiceManager:
         finally:
             if not handle.stopped.triggered:
                 handle.stopped.succeed(handle.service_state)
+
+    # -- elasticity ------------------------------------------------------------------------
+    def start_autoscaler(self, description: ServiceDescription,
+                         pilot: Optional[Pilot] = None,
+                         remote_platform: Optional[str] = None,
+                         config: Optional[AutoscalerConfig] = None,
+                         handles: Optional[List[ServiceHandle]] = None,
+                         ) -> Autoscaler:
+        """Start an :class:`Autoscaler` managing instances of *description*.
+
+        Give either *pilot* (instances bootstrap on pilot resources) or
+        *remote_platform* (persistent attachment).  Pre-existing *handles*
+        are adopted into the managed group; the autoscaler tops the group
+        up to ``config.min_instances`` immediately and then scales between
+        min and max against the registry's load telemetry.
+        """
+        scaler = Autoscaler(self, description, pilot=pilot,
+                            remote_platform=remote_platform,
+                            config=config, handles=handles)
+        return scaler.start()
 
     # -- control ---------------------------------------------------------------------------
     def stop_services(

@@ -184,6 +184,9 @@ class ServiceDescription(TaskDescription):
         "startup_timeout_s": (int, float),
         "heartbeat_interval_s": (int, float),
         "max_concurrency": int,     # concurrent inferences per instance
+        "max_batch_size": int,      # coalesced requests per dispatch
+                                    # (0 = serving-host default)
+        "max_queue_depth": int,     # admission bound (0 = unbounded)
         "endpoint_name": str,       # registry name (auto if empty)
         "remote_platform": str,     # non-empty -> runs off-pilot
         "persistent": bool,         # survives workload completion
@@ -195,6 +198,8 @@ class ServiceDescription(TaskDescription):
         "startup_timeout_s": 600.0,
         "heartbeat_interval_s": 10.0,
         "max_concurrency": 1,      # paper: services are single-threaded
+        "max_batch_size": 0,       # paper: one request at a time
+        "max_queue_depth": 0,      # paper: unbounded inbox
         "endpoint_name": "",
         "remote_platform": "",
         "persistent": False,
@@ -209,5 +214,9 @@ class ServiceDescription(TaskDescription):
             raise ConfigError("startup_timeout_s must be positive")
         if self.max_concurrency < 1:
             raise ConfigError("max_concurrency must be >= 1")
+        if self.max_batch_size < 0:
+            raise ConfigError("max_batch_size must be >= 0 (0 = default)")
+        if self.max_queue_depth < 0:
+            raise ConfigError("max_queue_depth must be >= 0 (0 = unbounded)")
         if self.heartbeat_interval_s <= 0:
             raise ConfigError("heartbeat_interval_s must be positive")

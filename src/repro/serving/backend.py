@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .generator import MarkovGenerator, default_generator, tokenize
 
@@ -64,6 +64,39 @@ class ModelBackend:
         """Run one inference: returns (payload, modeled duration seconds)."""
         raise NotImplementedError
 
+    def infer_batch(self, prompts: Sequence[str], rng,
+                    params_list: Optional[Sequence[Optional[Dict[str, Any]]]]
+                    = None,
+                    ) -> Tuple[List[InferenceResultPayload], float]:
+        """Run a coalesced batch: returns (payloads, busy span seconds).
+
+        All requests of a batch complete together after the returned span
+        (the continuous-batching approximation).  The base implementation
+        has no batching advantage: the span is the sum of the individual
+        inference durations.  Backends with real batch execution override
+        this with a sub-linear cost model.
+        """
+        if not prompts:
+            raise ValueError("infer_batch needs at least one prompt")
+        params_list = self._norm_params(prompts, params_list)
+        payloads: List[InferenceResultPayload] = []
+        span = 0.0
+        for prompt, params in zip(prompts, params_list):
+            payload, duration = self.infer(prompt, rng, params)
+            payloads.append(payload)
+            span += duration
+        return payloads, span
+
+    @staticmethod
+    def _norm_params(prompts: Sequence[str],
+                     params_list: Optional[Sequence[Optional[Dict[str, Any]]]]
+                     ) -> Sequence[Optional[Dict[str, Any]]]:
+        if params_list is None:
+            return [None] * len(prompts)
+        if len(params_list) != len(prompts):
+            raise ValueError("params_list must match prompts in length")
+        return params_list
+
     #: GPU memory the model occupies when resident (GB).
     gpu_mem_gb: float = 0.0
 
@@ -76,6 +109,9 @@ class NoopModel(ModelBackend):
 
     #: tiny fixed handling cost: a function call and a dict build
     NOOP_COST_S = 2e-6
+    #: marginal cost of each additional request in a batch, as a fraction of
+    #: NOOP_COST_S -- handling N no-ops together amortises the dispatch
+    BATCH_MARGINAL_FRAC = 0.1
 
     def load_time(self, rng, concurrent_loads: int = 1,
                   fs_bandwidth_gbps: float = 2.0,
@@ -88,6 +124,17 @@ class NoopModel(ModelBackend):
             text="", prompt_tokens=len(tokenize(prompt)),
             completion_tokens=0, model=self.name)
         return payload, self.NOOP_COST_S
+
+    def infer_batch(self, prompts, rng, params_list=None):
+        if not prompts:
+            raise ValueError("infer_batch needs at least one prompt")
+        self._norm_params(prompts, params_list)
+        payloads = [InferenceResultPayload(
+            text="", prompt_tokens=len(tokenize(p)),
+            completion_tokens=0, model=self.name) for p in prompts]
+        span = self.NOOP_COST_S * (
+            1.0 + self.BATCH_MARGINAL_FRAC * (len(prompts) - 1))
+        return payloads, span
 
 
 class LlamaModel(ModelBackend):
@@ -102,20 +149,31 @@ class LlamaModel(ModelBackend):
       (~40 s for 8B, mildly growing with contention);
     * inference: ``prompt_tokens / prefill_tps + completion_tokens /
       decode_tps`` with gaussian jitter -- seconds per request, dominating
-      Fig. 6.
+      Fig. 6;
+    * batched inference: prefill work is compute-bound and adds up linearly
+      across the batch, while decode steps are memory-bandwidth-bound and
+      run all sequences per step -- a batch of *b* decodes in
+      ``max(completion_tokens) / decode_tps`` slowed only by
+      ``1 + batch_decode_penalty * (b - 1)``.  Aggregate throughput thus
+      grows sub-linearly in cost and near-linearly in requests, the
+      continuous-batching behaviour of vLLM-class hosts.
     """
 
     def __init__(self, params_b: float = 8.0,
                  prefill_tps: float = 3000.0,
                  decode_tps: float = 35.0,
                  init_const_s: float = 8.0,
+                 batch_decode_penalty: float = 0.06,
                  generator: Optional[MarkovGenerator] = None) -> None:
         if params_b <= 0:
             raise ValueError("params_b must be positive")
+        if batch_decode_penalty < 0:
+            raise ValueError("batch_decode_penalty must be >= 0")
         self.params_b = params_b
         self.prefill_tps = prefill_tps
         self.decode_tps = decode_tps
         self.init_const_s = init_const_s
+        self.batch_decode_penalty = batch_decode_penalty
         self.name = f"llama-{int(params_b)}b"
         self.gpu_mem_gb = params_b * 2.0  # fp16 weights
         self._generator = generator or default_generator()
@@ -134,7 +192,10 @@ class LlamaModel(ModelBackend):
         init_s = max(1.0, rng.normal(self.init_const_s, self.init_const_s * 0.1))
         return float(read_s + init_s)
 
-    def infer(self, prompt: str, rng, params=None):
+    def _sample_request(self, prompt: str, rng,
+                        params: Optional[Dict[str, Any]],
+                        ) -> InferenceResultPayload:
+        """Sample one request's token counts and generated text."""
         params = params or {}
         max_tokens = int(params.get("max_tokens", 256))
         if max_tokens < 0:
@@ -145,13 +206,34 @@ class LlamaModel(ModelBackend):
             max_tokens, max(1, rng.normal(0.75 * max_tokens,
                                           0.15 * max_tokens))))
         text = self._generator.generate(prompt, completion_tokens, rng)
-        duration = (prompt_tokens / self.prefill_tps
-                    + completion_tokens / self.decode_tps)
-        duration *= float(max(0.5, rng.normal(1.0, 0.05)))
-        payload = InferenceResultPayload(
+        return InferenceResultPayload(
             text=text, prompt_tokens=prompt_tokens,
             completion_tokens=completion_tokens, model=self.name)
+
+    def infer(self, prompt: str, rng, params=None):
+        payload = self._sample_request(prompt, rng, params)
+        duration = (payload.prompt_tokens / self.prefill_tps
+                    + payload.completion_tokens / self.decode_tps)
+        duration *= float(max(0.5, rng.normal(1.0, 0.05)))
         return payload, float(duration)
+
+    def infer_batch(self, prompts, rng, params_list=None):
+        if not prompts:
+            raise ValueError("infer_batch needs at least one prompt")
+        params_list = self._norm_params(prompts, params_list)
+        payloads = [self._sample_request(p, rng, params)
+                    for p, params in zip(prompts, params_list)]
+        # Prefill is compute-bound: token work adds up across the batch.
+        prefill_s = sum(p.prompt_tokens for p in payloads) / self.prefill_tps
+        # Decode is bandwidth-bound: each step advances every sequence, so
+        # the batch decodes in the longest sequence's step count with a mild
+        # per-sequence penalty (KV-cache pressure).
+        batch = len(payloads)
+        decode_s = (max(p.completion_tokens for p in payloads)
+                    / self.decode_tps
+                    * (1.0 + self.batch_decode_penalty * (batch - 1)))
+        span = (prefill_s + decode_s) * float(max(0.5, rng.normal(1.0, 0.05)))
+        return payloads, float(span)
 
 
 #: model-name -> factory

@@ -11,7 +11,7 @@ by the serving ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .backend import InferenceResultPayload, ModelBackend, create_backend
 
@@ -22,8 +22,10 @@ class ServingHost:
     """Base host: request handling cost model around a :class:`ModelBackend`."""
 
     name = "base"
-    #: concurrent inferences the host can run (1 = serial queueing)
+    #: concurrent worker dispatches the host can run (1 = serial queueing)
     max_concurrency: int = 1
+    #: queued requests one dispatch may coalesce (1 = no batching)
+    max_batch_size: int = 1
 
     #: request parse/deserialise: fixed + per-byte cost.  ZeroMQ framing and
     #: msgpack/JSON decode of sub-KB requests is single-digit µs; the paper
@@ -36,12 +38,17 @@ class ServingHost:
     SERIALIZE_PER_BYTE_S = 1.0 / 1.2e9
 
     def __init__(self, backend: ModelBackend,
-                 max_concurrency: Optional[int] = None) -> None:
+                 max_concurrency: Optional[int] = None,
+                 max_batch_size: Optional[int] = None) -> None:
         self.backend = backend
         if max_concurrency is not None:
             if max_concurrency < 1:
                 raise ValueError("max_concurrency must be >= 1")
             self.max_concurrency = max_concurrency
+        if max_batch_size is not None:
+            if max_batch_size < 1:
+                raise ValueError("max_batch_size must be >= 1")
+            self.max_batch_size = max_batch_size
 
     # -- cost components ---------------------------------------------------------
     def parse_time(self, nbytes: int, rng) -> float:
@@ -65,6 +72,13 @@ class ServingHost:
         """One inference under *n_active* concurrently-running requests."""
         return self.backend.infer(prompt, rng, params)
 
+    def infer_batch(self, prompts: Sequence[str], rng,
+                    params_list: Optional[Sequence[Optional[Dict[str, Any]]]]
+                    = None, n_active: int = 1,
+                    ) -> Tuple[List[InferenceResultPayload], float]:
+        """One coalesced dispatch under *n_active* concurrent dispatches."""
+        return self.backend.infer_batch(prompts, rng, params_list)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} model={self.backend.name}>"
 
@@ -74,6 +88,7 @@ class OllamaHost(ServingHost):
 
     name = "ollama"
     max_concurrency = 1
+    max_batch_size = 1
 
 
 class VllmHost(ServingHost):
@@ -87,11 +102,13 @@ class VllmHost(ServingHost):
 
     name = "vllm"
     max_concurrency = 8
+    max_batch_size = 8
 
     def __init__(self, backend: ModelBackend,
                  max_concurrency: Optional[int] = None,
+                 max_batch_size: Optional[int] = None,
                  batch_penalty: float = 0.12) -> None:
-        super().__init__(backend, max_concurrency)
+        super().__init__(backend, max_concurrency, max_batch_size)
         if batch_penalty < 0:
             raise ValueError("batch_penalty must be >= 0")
         self.batch_penalty = batch_penalty
@@ -101,6 +118,12 @@ class VllmHost(ServingHost):
         slowdown = 1.0 + self.batch_penalty * max(0, n_active - 1)
         return payload, duration * slowdown
 
+    def infer_batch(self, prompts, rng, params_list=None, n_active: int = 1):
+        payloads, span = self.backend.infer_batch(prompts, rng, params_list)
+        # Other concurrently-running dispatches contend for the same GPU.
+        slowdown = 1.0 + self.batch_penalty * max(0, n_active - 1)
+        return payloads, span * slowdown
+
 
 HOSTS = {
     "ollama": OllamaHost,
@@ -109,7 +132,8 @@ HOSTS = {
 
 
 def create_host(backend_name: str, model_name: str,
-                max_concurrency: Optional[int] = None) -> ServingHost:
+                max_concurrency: Optional[int] = None,
+                max_batch_size: Optional[int] = None) -> ServingHost:
     """Build a host of kind *backend_name* serving *model_name*."""
     try:
         host_cls = HOSTS[backend_name]
@@ -118,4 +142,5 @@ def create_host(backend_name: str, model_name: str,
             f"unknown serving backend {backend_name!r}; "
             f"known: {sorted(HOSTS)}") from None
     return host_cls(create_backend(model_name),
-                    max_concurrency=max_concurrency)
+                    max_concurrency=max_concurrency,
+                    max_batch_size=max_batch_size)
