@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Data locality walkthrough: caches, dedup and data-aware placement.
+
+An iterative HPO-style workload (rounds of training tasks, every task
+reading the same 1.6 TB Globus-staged reference dataset plus its own
+50 GB shard) runs three times:
+
+1. **cold**     -- caching and dedup off: the seed's behaviour, every task
+                   pays the full WAN transfer;
+2. **warm**     -- content-addressed caching on: the dataset crosses the
+                   WAN once per platform, repeats are free;
+3. **locality** -- plus data-affinity placement: shard data sticks to the
+                   platform that already holds it.
+
+Run:  python examples/data_locality.py
+"""
+
+from repro import (
+    DataConfig,
+    PilotDescription,
+    PilotManager,
+    Session,
+    TaskDescription,
+    TaskManager,
+)
+from repro.analytics import ReportBuilder, data_metrics
+
+DATASET_BYTES = 1.6e12   # the Cell Painting pipeline's Globus dataset
+SHARD_BYTES = 50e9
+ROUNDS = 3
+TASKS_PER_ROUND = 8
+
+
+def run(label: str, config: DataConfig):
+    with Session(seed=11, data_config=config) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        tmgr.add_pilots(pmgr.submit_pilots([
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e8),
+            PilotDescription(resource="frontier", nodes=2, runtime_s=1e8),
+        ]))
+        for _round in range(ROUNDS):
+            tasks = tmgr.submit_tasks([
+                TaskDescription(
+                    name=f"train-{i}",
+                    executable="train", duration_s=30.0,
+                    input_staging=[
+                        {"source": "hpo/reference-dataset",
+                         "size_bytes": DATASET_BYTES},
+                        {"source": f"hpo/shard-{i}",
+                         "size_bytes": SHARD_BYTES},
+                    ])
+                for i in range(TASKS_PER_ROUND)])
+            session.run(until=tmgr.wait_tasks(tasks))
+        metrics = data_metrics(tmgr.data_manager)
+        return label, session.now, metrics, tmgr.affinity_placements
+
+
+def main() -> None:
+    arms = [
+        run("cold (no cache, no dedup)",
+            DataConfig(cache_enabled=False, dedup_inflight=False,
+                       placement="round_robin")),
+        run("warm cache, round-robin",
+            DataConfig(placement="round_robin")),
+        run("warm cache + data affinity",
+            DataConfig(placement="data_affinity")),
+    ]
+    report = ReportBuilder("Data locality: cold vs warm vs affinity")
+    rows = []
+    for label, makespan, m, affinity in arms:
+        rows.append([label, f"{makespan:.0f}", f"{m.bytes_moved / 1e12:.2f}",
+                     f"{m.bytes_saved / 1e12:.2f}",
+                     f"{m.hit_rate * 100:.0f}%" if m.staged_requests else "-",
+                     affinity])
+    report.add_table(
+        ["configuration", "makespan (s)", "moved (TB)", "saved (TB)",
+         "hit rate", "affinity placements"], rows)
+    cold, warm = arms[0][2], arms[1][2]
+    report.add_text(
+        f"Warm caching cuts staged bytes {cold.bytes_moved / warm.bytes_moved:.1f}x "
+        "on this iterative workload; affinity keeps shard data pinned to the "
+        "platform that already holds it.")
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,7 @@ from .pilot import (
     TaskManager,
     TaskState,
 )
+from .data import DataConfig, DataServices
 from .core import (
     Autoscaler,
     AutoscalerConfig,
@@ -68,7 +69,9 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DataConfig",
     "DataManager",
+    "DataServices",
     "Pilot",
     "PilotDescription",
     "PilotManager",

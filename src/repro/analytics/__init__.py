@@ -2,9 +2,11 @@
 
 from .metrics import (
     BootstrapMetrics,
+    DataMetrics,
     DistStats,
     ResponseMetrics,
     bootstrap_metrics,
+    data_metrics,
     dist_stats,
     response_metrics,
 )
@@ -25,9 +27,11 @@ from .report import ReportBuilder, format_seconds, render_table
 
 __all__ = [
     "BootstrapMetrics",
+    "DataMetrics",
     "DistStats",
     "ResponseMetrics",
     "bootstrap_metrics",
+    "data_metrics",
     "dist_stats",
     "response_metrics",
     "EXP1_INSTANCE_COUNTS",

@@ -34,6 +34,8 @@ __all__ = [
     "bootstrap_metrics",
     "ResponseMetrics",
     "response_metrics",
+    "DataMetrics",
+    "data_metrics",
 ]
 
 
@@ -183,6 +185,68 @@ class ResponseMetrics:
         if makespan_s <= 0:
             raise ValueError("makespan must be positive")
         return self.n_requests / makespan_s
+
+
+@dataclass(frozen=True)
+class DataMetrics:
+    """Staging-plane accounting for one DataManager (data subsystem).
+
+    ``bytes_moved`` is what actually crossed the fabric; ``bytes_saved`` is
+    what warm caches and in-flight dedup made free; ``transfer_wait`` is the
+    distribution of per-transfer wall times (latency + fair-shared
+    serialisation, so link contention shows up here).
+    """
+
+    bytes_moved: float
+    bytes_saved: float
+    cache_hits: int
+    cache_misses: int
+    dedup_hits: int
+    links: int
+    transfer_wait: DistStats
+
+    @property
+    def staged_requests(self) -> int:
+        """Directives that named actual data (hits + dedup + misses)."""
+        return self.cache_hits + self.dedup_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of staged requests served without moving bytes."""
+        total = self.staged_requests
+        if total == 0:
+            return float("nan")
+        return (self.cache_hits + self.dedup_hits) / total
+
+    @property
+    def bytes_requested(self) -> float:
+        return self.bytes_moved + self.bytes_saved
+
+    def row(self) -> Dict[str, object]:
+        """Flat report row (sizes in GB for readability)."""
+        return {
+            "moved_gb": self.bytes_moved / 1e9,
+            "saved_gb": self.bytes_saved / 1e9,
+            "hit_rate": self.hit_rate,
+            "hits": self.cache_hits,
+            "dedup": self.dedup_hits,
+            "misses": self.cache_misses,
+            "wait_mean_s": self.transfer_wait.mean,
+            "wait_p95_s": self.transfer_wait.p95,
+        }
+
+
+def data_metrics(manager) -> DataMetrics:
+    """Extract :class:`DataMetrics` from a ``DataManager``."""
+    return DataMetrics(
+        bytes_moved=manager.bytes_transferred,
+        bytes_saved=manager.bytes_saved,
+        cache_hits=manager.cache_hits,
+        cache_misses=manager.cache_misses,
+        dedup_hits=manager.dedup_hits,
+        links=manager.links_total,
+        transfer_wait=dist_stats(manager.transfer_wait_s),
+    )
 
 
 def response_metrics(results: Iterable[InferenceResult]) -> ResponseMetrics:

@@ -1,0 +1,159 @@
+"""The data-locality subsystem: objects, replicas, caches, transfers.
+
+The paper's workflows are *data-driven*: the Cell Painting pipeline moves a
+1.6 TB Globus-managed dataset, and HPO rounds re-read the same training
+features across dozens of trials.  This package gives the runtime a real
+data plane for that traffic:
+
+* :mod:`repro.data.objects`   -- content-addressed objects + replica registry;
+* :mod:`repro.data.cache`     -- bounded per-platform LRU caches;
+* :mod:`repro.data.transfers` -- contention-aware transfer scheduling over
+  shared-bandwidth links.
+
+:class:`DataServices` is the session-scoped facade stitching the three
+together while keeping their joint invariants (the replica registry never
+reports an object a platform does not hold; cache occupancy never exceeds
+capacity).  :class:`DataConfig` carries the tuning knobs; pass one to
+``Session(data_config=...)`` to change caching/placement behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from .cache import CacheManager, DEFAULT_CACHE_CAPACITY_BYTES
+from .objects import (
+    DataObject,
+    ObjectStore,
+    ReplicaError,
+    ReplicaRegistry,
+    object_id,
+)
+from .transfers import TransferRecord, TransferScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+
+__all__ = [
+    "CacheManager",
+    "DEFAULT_CACHE_CAPACITY_BYTES",
+    "DataConfig",
+    "DataObject",
+    "DataServices",
+    "ObjectStore",
+    "ReplicaError",
+    "ReplicaRegistry",
+    "TransferRecord",
+    "TransferScheduler",
+    "object_id",
+]
+
+PLACEMENTS = ("data_affinity", "round_robin")
+
+
+@dataclass
+class DataConfig:
+    """Tuning knobs for the data subsystem."""
+
+    #: model platform caches at all (False = the seed's cache-less behaviour)
+    cache_enabled: bool = True
+    #: default per-platform cache capacity in bytes
+    cache_capacity_bytes: float = DEFAULT_CACHE_CAPACITY_BYTES
+    #: TaskManager placement policy: prefer the pilot whose platform holds
+    #: the largest share of a task's input bytes, or plain round-robin
+    placement: str = "data_affinity"
+    #: coalesce concurrent stages of the same object to the same platform
+    dedup_inflight: bool = True
+    #: data affinity yields to round-robin when the preferred pilot is
+    #: carrying this many more live tasks than the least-loaded candidate
+    affinity_load_slack: int = 8
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement {self.placement!r} not in {PLACEMENTS}")
+        if self.cache_capacity_bytes < 0:
+            raise ValueError("cache_capacity_bytes must be >= 0")
+        if self.affinity_load_slack < 0:
+            raise ValueError("affinity_load_slack must be >= 0")
+
+
+class DataServices:
+    """Session-scoped facade over store, registry, caches and transfers.
+
+    All DataManagers (one per TaskManager) share the session's instance, so
+    replica knowledge -- and therefore cache hits and data-affinity
+    placement -- spans managers and workflow stages.
+    """
+
+    def __init__(self, session: "Session",
+                 config: Optional[DataConfig] = None) -> None:
+        self.session = session
+        self.config = config or DataConfig()
+        self.objects = ObjectStore()
+        self.replicas = ReplicaRegistry()
+        self.cache = CacheManager(self.config.cache_capacity_bytes)
+        self.transfers = TransferScheduler(session)
+        #: (oid, destination) -> completion event of the transfer already
+        #: under way; session-scoped so in-flight dedup spans DataManagers
+        self.inflight: dict = {}
+
+    # -- queries -----------------------------------------------------------------
+    def holds(self, location: str, oid: str) -> bool:
+        return self.replicas.holds(location, oid)
+
+    def input_objects(self, directives) -> List[tuple]:
+        """``(oid, size_bytes)`` pairs for the data-bearing directives.
+
+        Only ``transfer`` directives count: ``link`` is free everywhere and
+        ``copy`` is intra-platform by definition.  Compute this once per
+        task and reuse it across candidate platforms -- the digest is the
+        expensive part of affinity scoring.
+        """
+        return [(object_id(d.source or d.target, d.size_bytes),
+                 d.size_bytes)
+                for d in directives if d.action == "transfer"]
+
+    def resident_input_bytes(self, platform: str, directives) -> float:
+        """Bytes of the given staging directives already at *platform*."""
+        return self.resident_object_bytes(platform,
+                                          self.input_objects(directives))
+
+    def resident_object_bytes(self, platform: str, pairs) -> float:
+        """Bytes of pre-digested ``(oid, size)`` pairs held at *platform*."""
+        return sum(size for oid, size in pairs
+                   if self.replicas.holds(platform, oid))
+
+    # -- updates -----------------------------------------------------------------
+    def touch(self, location: str, oid: str) -> None:
+        self.cache.touch(location, oid)
+
+    def register_durable(self, oid: str, location: str) -> None:
+        """Record an origin copy that eviction never drops.
+
+        A cache replica at the same location graduates out of the LRU: an
+        object must never be durable *and* evictable at one location, or
+        capacity pressure would trip over the durable guard.
+        """
+        self.cache.discard(location, oid)
+        self.replicas.add(oid, location, durable=True)
+
+    def admit(self, platform: str, obj: DataObject) -> List[DataObject]:
+        """Cache *obj* at *platform*; returns evicted objects.
+
+        Keeps registry and cache consistent: evicted entries lose their
+        replica record, admitted ones gain it.  No-op when caching is
+        disabled or the platform already holds a durable copy.
+        """
+        if not self.config.cache_enabled:
+            return []
+        if self.replicas.holds(platform, obj.oid):
+            self.cache.touch(platform, obj.oid)
+            return []
+        admitted, evicted = self.cache.admit(platform, obj)
+        for victim in evicted:
+            self.replicas.remove(victim.oid, platform)
+        if admitted:
+            self.replicas.add(obj.oid, platform)
+        return evicted

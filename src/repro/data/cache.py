@@ -1,0 +1,119 @@
+"""Per-platform LRU caches over data objects.
+
+Each platform gets a bounded warm-storage tier (think burst buffer / scratch
+quota): objects staged to the platform stay resident until capacity pressure
+evicts the least-recently-used ones.  The cache holds *identities and
+sizes*, not payloads -- this is a simulation -- but the accounting is exact:
+occupancy never exceeds the configured capacity (property-tested), and an
+object larger than the whole cache is simply never admitted (pass-through
+staging, nothing evicted for it).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .objects import DataObject
+
+__all__ = ["CacheManager", "DEFAULT_CACHE_CAPACITY_BYTES"]
+
+#: Default per-platform warm-tier capacity: roomy enough that eviction only
+#: matters when experiments bound it explicitly (200 TB ~ scratch quota).
+DEFAULT_CACHE_CAPACITY_BYTES = 200e12
+
+
+class CacheManager:
+    """Bounded LRU caches, one per platform."""
+
+    def __init__(self, capacity_bytes: float = DEFAULT_CACHE_CAPACITY_BYTES,
+                 per_platform: Optional[Dict[str, float]] = None) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self._default_capacity = float(capacity_bytes)
+        self._capacity: Dict[str, float] = {
+            k: float(v) for k, v in (per_platform or {}).items()}
+        for cap in self._capacity.values():
+            if cap < 0:
+                raise ValueError("per-platform capacity must be >= 0")
+        self._lru: Dict[str, "OrderedDict[str, DataObject]"] = {}
+        self._occupancy: Dict[str, float] = {}
+        #: lifetime stats
+        self.evictions = 0
+        self.bytes_evicted = 0.0
+
+    # -- capacity ---------------------------------------------------------------
+    def capacity(self, platform: str) -> float:
+        return self._capacity.get(platform, self._default_capacity)
+
+    def set_capacity(self, platform: str, capacity_bytes: float) -> None:
+        """Bound one platform's cache (shrinking does not evict eagerly --
+        the next admission settles the books)."""
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self._capacity[platform] = float(capacity_bytes)
+
+    def occupancy(self, platform: str) -> float:
+        return self._occupancy.get(platform, 0.0)
+
+    # -- queries ----------------------------------------------------------------
+    def contains(self, platform: str, oid: str) -> bool:
+        return oid in self._lru.get(platform, ())
+
+    def entries(self, platform: str) -> List[str]:
+        """Cached oids in LRU order (head = next eviction victim)."""
+        return list(self._lru.get(platform, ()))
+
+    # -- updates ----------------------------------------------------------------
+    def touch(self, platform: str, oid: str) -> None:
+        """Mark *oid* most-recently-used (no-op if absent)."""
+        lru = self._lru.get(platform)
+        if lru is not None and oid in lru:
+            lru.move_to_end(oid)
+
+    def admit(self, platform: str,
+              obj: DataObject) -> Tuple[bool, List[DataObject]]:
+        """Insert *obj*, evicting LRU entries until it fits.
+
+        Returns ``(admitted, evicted)``.  Objects larger than the platform's
+        capacity are not admitted and evict nothing.
+        """
+        cap = self.capacity(platform)
+        if obj.size_bytes > cap:
+            return False, []
+        lru = self._lru.setdefault(platform, OrderedDict())
+        if obj.oid in lru:
+            lru.move_to_end(obj.oid)
+            return True, []
+        evicted: List[DataObject] = []
+        while lru and self.occupancy(platform) + obj.size_bytes > cap:
+            victim_oid, victim = lru.popitem(last=False)
+            self._occupancy[platform] -= victim.size_bytes
+            evicted.append(victim)
+            self.evictions += 1
+            self.bytes_evicted += victim.size_bytes
+        if not lru:
+            # float residue from out-of-order removals must not survive an
+            # empty cache (it would make exact-capacity admissions fail)
+            self._occupancy[platform] = 0.0
+        lru[obj.oid] = obj
+        self._occupancy[platform] = self.occupancy(platform) + obj.size_bytes
+        return True, evicted
+
+    def evict(self, platform: str, oid: str) -> Optional[DataObject]:
+        """Drop one entry explicitly; returns it (or None if absent)."""
+        obj = self.discard(platform, oid)
+        if obj is not None:
+            self.evictions += 1
+            self.bytes_evicted += obj.size_bytes
+        return obj
+
+    def discard(self, platform: str, oid: str) -> Optional[DataObject]:
+        """Remove an entry without counting it as an eviction (used when an
+        object graduates to a durable, non-evictable copy)."""
+        lru = self._lru.get(platform)
+        if lru is None or oid not in lru:
+            return None
+        obj = lru.pop(oid)
+        self._occupancy[platform] -= obj.size_bytes
+        return obj

@@ -27,7 +27,7 @@ from .launcher import (
     SshLauncher,
     get_launcher,
 )
-from .network import DEFAULT_WAN_LATENCY, Fabric, Route
+from .network import DEFAULT_WAN_LATENCY, Fabric, Route, SharedLink
 
 __all__ = [
     "DELTA",
@@ -54,4 +54,5 @@ __all__ = [
     "DEFAULT_WAN_LATENCY",
     "Fabric",
     "Route",
+    "SharedLink",
 ]

@@ -6,16 +6,29 @@ at 0.063 +/- 0.014 ms, remote (Delta <-> R3) node-to-node latency at
 0.47 +/- 0.04 ms.  The :class:`Fabric` reproduces exactly these one-way
 delay distributions and adds a bandwidth term for bulk data staging
 (Globus-style transfers in the Cell Painting pipeline).
+
+Bulk staging additionally needs a *contention* model: two 1 TB transfers on
+the same WAN link do not each see the full pipe.  :class:`SharedLink` is the
+engine-backed shared-bandwidth model -- concurrent flows fair-share the
+link's capacity, with per-flow progress rebalanced whenever a flow joins or
+leaves.  The data subsystem (:mod:`repro.data.transfers`) instantiates one
+per fabric route.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..sim.events import Event, Timeout
 from .platform import LatencySpec, PlatformSpec
 
-__all__ = ["Route", "Fabric", "DEFAULT_WAN_LATENCY", "DEFAULT_WAN_BANDWIDTH_GBPS"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import SimulationEngine
+
+__all__ = ["Route", "Fabric", "SharedLink", "DEFAULT_WAN_LATENCY",
+           "DEFAULT_WAN_BANDWIDTH_GBPS"]
 
 #: Paper §IV-C: node-to-node latency between Delta and R3.
 DEFAULT_WAN_LATENCY = LatencySpec(mean_ms=0.47, std_ms=0.04)
@@ -103,3 +116,143 @@ class Fabric:
 
     def platforms(self):
         return dict(self._platforms)
+
+
+class _Flow:
+    """One active transfer on a :class:`SharedLink`."""
+
+    __slots__ = ("remaining", "done", "started", "nbytes")
+
+    def __init__(self, nbytes: float, done: Event, started: float) -> None:
+        self.nbytes = nbytes
+        self.remaining = nbytes
+        self.done = done
+        self.started = started
+
+
+class SharedLink:
+    """A link whose bandwidth is fair-shared among concurrent flows.
+
+    Classic processor-sharing fluid model: with *n* active flows each
+    progresses at ``bandwidth / n``.  Whenever a flow joins or completes the
+    per-flow rate changes, so accumulated progress is settled and the next
+    completion re-derived -- concurrent transfers slow each other down
+    instead of teleporting for free.
+
+    ``transfer`` returns an event that succeeds (with the flow's total
+    duration on the link) once the bytes have drained.  Zero-byte flows
+    complete immediately.
+    """
+
+    #: residual bytes below which a flow counts as drained (float slack)
+    _EPS_BYTES = 1e-3
+
+    def __init__(self, engine: "SimulationEngine", bandwidth_gbps: float,
+                 name: str = "") -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        self.engine = engine
+        self.name = name
+        self.rate_bps = bandwidth_gbps * 1e9  # bytes/second
+        self._flows: List[_Flow] = []
+        self._last_settle = engine.now
+        self._timer: Optional[Timeout] = None
+        #: lifetime stats
+        self.bytes_total = 0.0
+        self.flows_total = 0
+        self.peak_concurrency = 0
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def flow_rate_bps(self) -> float:
+        """Bytes/second currently seen by each active flow."""
+        return self.rate_bps / max(1, len(self._flows))
+
+    def eta(self, nbytes: float) -> float:
+        """Seconds a new *nbytes* flow would take if admitted now.
+
+        Contention-aware first-order estimate: assumes the current flow
+        count (plus the new flow) persists; used for replica selection.
+        """
+        return nbytes * (len(self._flows) + 1) / self.rate_bps
+
+    # -- transfers ---------------------------------------------------------------
+    def transfer(self, nbytes: float) -> Event:
+        """Admit a flow of *nbytes*; returns its completion event."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        done = Event(self.engine)
+        self._settle()
+        self._flows.append(_Flow(float(nbytes), done, self.engine.now))
+        self.flows_total += 1
+        self.bytes_total += float(nbytes)
+        self.peak_concurrency = max(self.peak_concurrency, len(self._flows))
+        self._reschedule()
+        return done
+
+    def abort(self, done: Event) -> bool:
+        """Withdraw the flow identified by its completion event.
+
+        Used when a staging process is cancelled mid-transfer: the flow
+        stops consuming link bandwidth immediately (survivors speed up) and
+        its event never triggers.  Returns True if the flow was active.
+        """
+        for flow in self._flows:
+            if flow.done is done:
+                self._settle()
+                self._flows.remove(flow)
+                self.bytes_total -= flow.remaining  # undelivered bytes
+                self._reschedule()
+                return True
+        return False
+
+    # -- fluid accounting --------------------------------------------------------
+    def _settle(self) -> None:
+        """Charge progress accumulated since the last rate change."""
+        now = self.engine.now
+        if self._flows:
+            drained = (now - self._last_settle) * self.flow_rate_bps
+            for flow in self._flows:
+                flow.remaining = max(0.0, flow.remaining - drained)
+        self._last_settle = now
+
+    def _drain_eps(self) -> float:
+        """Residual bytes below which a flow counts as done.
+
+        Scaled to the clock's float resolution at the current timestamp:
+        a residue whose serialisation time cannot advance ``engine.now``
+        (``now + eta == now`` in float64) would re-arm a zero-progress
+        timer forever, so it is absorbed instead.
+        """
+        resolution = 4 * math.ulp(max(1.0, self.engine.now))
+        return max(self._EPS_BYTES, self.flow_rate_bps * resolution)
+
+    def _reschedule(self) -> None:
+        """Complete drained flows and re-arm the next-completion timer."""
+        if self._timer is not None and not self._timer.processed \
+                and not self._timer._cancelled:
+            self._timer.cancel()
+        self._timer = None
+        eps = self._drain_eps()
+        for flow in [f for f in self._flows if f.remaining <= eps]:
+            self._flows.remove(flow)
+            flow.done.succeed(self.engine.now - flow.started)
+        if not self._flows:
+            return
+        eta = min(f.remaining for f in self._flows) / self.flow_rate_bps
+        self._timer = self.engine.timeout(eta)
+        self._timer.callbacks.append(self._on_timer)
+
+    def _on_timer(self, event: Event) -> None:
+        if event is not self._timer:  # superseded by a later rebalance
+            return
+        self._settle()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return (f"<SharedLink {self.name or '?'} flows={len(self._flows)} "
+                f"bw={self.rate_bps / 1e9:.1f}GB/s>")

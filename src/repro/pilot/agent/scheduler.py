@@ -10,9 +10,14 @@ priority relations between services and tasks"):
 * a multi-rank request is placed atomically -- all ranks get slots or the
   request stays queued;
 * ``tags={"colocate": <group>}`` pins all members of a group to the node
-  chosen for the group's first member.
+  chosen for the group's first member;
+* ``tags={"affinity": <key>}`` is the *soft* variant used for data
+  locality: ranks prefer the node last used for the same key (where the
+  key's data plausibly still sits in node-local storage) but fall back to
+  any fitting node rather than queueing.
 
-Invariant (property-tested): no core/GPU index is ever double-booked.
+Invariant (property-tested, with and without affinity tags): no core/GPU
+index is ever double-booked.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ class AgentScheduler:
         self._seq = itertools.count()
         self._held: Dict[str, List[Slot]] = {}
         self._colocate_node: Dict[str, int] = {}
+        self._affinity_node: Dict[str, int] = {}  # soft data-affinity memory
         self._rr_index = 0  # round-robin start node for spreading load
 
     # -- validation ----------------------------------------------------------
@@ -116,8 +122,13 @@ class AgentScheduler:
         d = task.description
         slots: List[Slot] = []
         group = d.tags.get("colocate") if d.tags else None
+        affinity = d.tags.get("affinity") if d.tags else None
+        if affinity is None:  # placement-derived hint (never user tags)
+            affinity = getattr(task, "affinity_key", None)
         pinned: Optional[int] = self._colocate_node.get(group) \
             if group else None
+        preferred: Optional[int] = self._affinity_node.get(affinity) \
+            if affinity is not None else None
         for _rank in range(d.ranks):
             node: Optional[NodeState]
             if pinned is not None:
@@ -126,9 +137,16 @@ class AgentScheduler:
                                  d.mem_per_rank_gb):
                     node = None
             else:
-                node = self.nodes.find_fit(
-                    d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
-                    start=self._rr_index)
+                node = None
+                if preferred is not None:  # soft: fall through on no fit
+                    candidate = self.nodes[preferred]
+                    if candidate.fits(d.cores_per_rank, d.gpus_per_rank,
+                                      d.mem_per_rank_gb):
+                        node = candidate
+                if node is None:
+                    node = self.nodes.find_fit(
+                        d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                        start=self._rr_index)
             if node is None:
                 for slot in slots:  # rollback partial placement
                     self.nodes[slot.node_index].release(slot)
@@ -137,6 +155,8 @@ class AgentScheduler:
                                        d.mem_per_rank_gb))
         if group and group not in self._colocate_node:
             self._colocate_node[group] = slots[0].node_index
+        if affinity is not None:
+            self._affinity_node[affinity] = slots[0].node_index
         self._rr_index = (slots[-1].node_index + 1) % len(self.nodes)
         return slots
 

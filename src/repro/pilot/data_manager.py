@@ -1,17 +1,35 @@
-"""DataManager: staging of task input/output data.
+"""DataManager: staging of task input/output data over the data subsystem.
 
 The paper collects "existing data capabilities into a DataManager" (§III,
-Fig. 2).  Staging directives move bytes between the client side (where
-workflow data lives) and the pilot's platform -- or between platforms, as
-with the Cell Painting pipeline's Globus-managed 1.6 TB dataset.  Transfer
-durations come from the fabric's latency+bandwidth model; ``link`` is free,
-``copy`` is an intra-platform move.
+Fig. 2).  The seed implementation was a stopwatch: directives replayed
+sequentially, every transfer billed at full link bandwidth, no memory of
+what had already been moved.  This DataManager sits on the session's
+:class:`repro.data.DataServices` instead:
+
+* directives are **content-addressed** -- the same input staged by many
+  tasks/iterations is one object with replicas, so warm-cache hits are free
+  and concurrent stages of one object to one platform are coalesced
+  (in-flight dedup);
+* independent directives run **concurrently**, and concurrent transfers on
+  one fabric link fair-share its bandwidth
+  (:class:`repro.data.TransferScheduler`);
+* completed transfers register **replicas** (durable at the data's origin,
+  LRU-cached at the task platform), which feeds the TaskManager's
+  data-affinity placement;
+* ``link`` directives are free and are *not* counted as moved bytes.
+
+``stage_duration`` keeps the seed's uncontended single-transfer estimate
+(used by tests and back-of-envelope callers); actual staging goes through
+the shared-bandwidth model.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Tuple
 
+from ..data.objects import DataObject
+from ..data.transfers import TransferAborted
+from ..sim.events import Interrupt
 from .description import StagingDirective
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -21,46 +39,191 @@ __all__ = ["DataManager"]
 
 
 class DataManager:
-    """Executes staging directives as simulation processes."""
+    """Executes staging directives as concurrent simulation processes."""
 
     def __init__(self, session: "Session",
                  client_platform: str = "localhost") -> None:
         self.session = session
         self.client_platform = client_platform
         self.uid = session.ids.generate("dmgr")
-        #: total bytes moved (for reporting)
+        self.data = session.data
+        #: bytes actually moved over the fabric (free links/hits excluded)
         self.bytes_transferred = 0.0
+        #: bytes a warm cache / in-flight dedup made free
+        self.bytes_saved = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.dedup_hits = 0
+        self.links_total = 0
+        #: wall time of each real transfer this manager performed
+        self.transfer_wait_s: List[float] = []
 
-    def _endpoints(self, directive: StagingDirective, task_platform: str):
-        """(src, dst) platforms for one directive."""
+    # -- endpoint/geometry helpers ----------------------------------------------
+    def _endpoints(self, directive: StagingDirective, task_platform: str,
+                   phase: str = "stage_in") -> Tuple[str, str]:
+        """(src, dst) platforms for one directive in one phase."""
         if directive.action == "copy":
             return task_platform, task_platform
+        if phase == "stage_out":
+            return task_platform, self.client_platform
         return self.client_platform, task_platform
 
     def stage_duration(self, directive: StagingDirective,
                        task_platform: str) -> float:
-        """Seconds one directive will take (sampled)."""
+        """Seconds one directive would take alone on the link (sampled)."""
         if directive.action == "link":
             return 0.0
         src, dst = self._endpoints(directive, task_platform)
         return self.session.fabric.transfer_time(
             src, dst, directive.size_bytes)
 
+    # -- staging -----------------------------------------------------------------
     def stage(self, directives: Iterable[StagingDirective],
               task_platform: str, uid: str, phase: str):
-        """Simulation process: perform directives sequentially.
+        """Simulation process: perform directives *concurrently*.
 
         Records ``<phase>_start`` / ``<phase>_stop`` profile events for the
         owning entity *uid* (phase is ``stage_in`` or ``stage_out``).
+        Returns the number of directives performed; the first directive
+        failure (if any) is re-raised after all directives settle.
         """
         engine = self.session.engine
         profiler = self.session.profiler
         directives = list(directives)
         profiler.record(engine.now, uid, f"{phase}_start", self.uid)
-        for directive in directives:
-            duration = self.stage_duration(directive, task_platform)
-            if duration > 0:
-                yield engine.timeout(duration)
-            self.bytes_transferred += directive.size_bytes
-        profiler.record(engine.now, uid, f"{phase}_stop", self.uid)
+        procs = [engine.process(self._stage_one(d, task_platform, phase))
+                 for d in directives]
+        try:
+            if procs:
+                outcomes = yield engine.all_of(procs)
+                errors = [v for v in outcomes.values()
+                          if isinstance(v, BaseException)]
+                if errors:
+                    raise errors[0]
+        except Interrupt:
+            # task cancelled: stop the children too, so abandoned transfers
+            # free their links instead of contending with live work
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt("staging cancelled")
+            raise
+        finally:
+            profiler.record(engine.now, uid, f"{phase}_stop", self.uid)
         return len(directives)
+
+    def _stage_one(self, directive: StagingDirective, task_platform: str,
+                   phase: str):
+        """Child process wrapper: never fails the engine, returns errors.
+
+        Failing child processes that nobody awaits would crash the engine
+        (the parent may already be cancelled and detached); instead errors
+        -- including the Interrupt of a cancelled stage -- become return
+        values that :meth:`stage` re-raises if it is still listening.
+        """
+        try:
+            yield from self._perform(directive, task_platform, phase)
+            return None
+        except BaseException as exc:
+            return exc
+
+    def _perform(self, directive: StagingDirective, task_platform: str,
+                 phase: str):
+        """Resolve one directive: free link, warm hit, dedup wait or move."""
+        data = self.data
+        if directive.action == "link":
+            # No data movement: do not count toward bytes_transferred.
+            self.links_total += 1
+            return
+
+        src, dst = self._endpoints(directive, task_platform, phase)
+        obj = data.objects.intern(directive.source or directive.target,
+                                  directive.size_bytes)
+
+        # Warm-hit / dedup shortcuts apply to *inputs* only: stage-in reads
+        # immutable shared datasets, but each stage-out carries a freshly
+        # produced result -- a name collision with an earlier output must
+        # still pay its own transfer.
+        if phase != "stage_out":
+            while True:
+                if data.holds(dst, obj.oid):  # warm replica: free
+                    data.touch(dst, obj.oid)
+                    self.cache_hits += 1
+                    self.bytes_saved += obj.size_bytes
+                    return
+                pending = data.inflight.get((obj.oid, dst))
+                if pending is None or not data.config.dedup_inflight:
+                    break
+                try:
+                    yield pending  # ride the in-flight transfer
+                except TransferAborted:
+                    continue  # the owner was cancelled: try again ourselves
+                self.dedup_hits += 1
+                self.bytes_saved += obj.size_bytes
+                return
+
+        # Only inputs register as in-flight (outputs are never dedup
+        # targets, and must not shadow a same-named input transfer).
+        key = (obj.oid, dst) if phase != "stage_out" else None
+        done = self.session.engine.event()
+        if key is not None:
+            data.inflight[key] = done
+        try:
+            self.cache_misses += 1
+            source = self._best_source(src, dst, obj)
+            record = yield from data.transfers.transfer(
+                source, dst, obj.size_bytes, uid=self.uid)
+            self.bytes_transferred += obj.size_bytes
+            self.transfer_wait_s.append(record.duration)
+            self._register(obj, src, dst, directive.action, phase)
+            done.succeed()
+        except Interrupt as exc:
+            # riders must not inherit our cancellation: hand them a typed
+            # abort so they retry the transfer themselves
+            if not done.triggered:
+                done.fail(TransferAborted(str(exc.cause or "cancelled")))
+                done.defuse()
+            raise
+        except BaseException as exc:
+            if not done.triggered:
+                done.fail(exc)
+                done.defuse()  # waiters observe it; engine must not re-raise
+            raise
+        finally:
+            if key is not None and data.inflight.get(key) is done:
+                data.inflight.pop(key, None)
+
+    def _register(self, obj: DataObject, src: str, dst: str, action: str,
+                  phase: str) -> None:
+        """Replica bookkeeping after a completed move.
+
+        The client-side endpoint holds the durable origin copy; the task
+        platform gets an evictable cache replica.  Durable registration
+        happens first so an object is never both durable and LRU-tracked at
+        the same location (eviction must never face a durable entry).
+        """
+        if action == "copy":
+            self.data.register_durable(obj.oid, dst)
+            return
+        home, platform_side = ((dst, src) if phase == "stage_out"
+                               else (src, dst))
+        self.data.register_durable(obj.oid, home)
+        self.data.admit(platform_side, obj)
+
+    def _best_source(self, default_src: str, dst: str,
+                     obj: DataObject) -> str:
+        """Cheapest holder to pull from (contention-aware, deterministic)."""
+        if default_src == dst:
+            return default_src  # intra-platform copy: never reroute remotely
+        candidates = set(self.data.replicas.holders(obj.oid))
+        candidates.add(default_src)
+        candidates.discard(dst)  # cannot pull from the destination
+        if not candidates:
+            return default_src
+        known = self.session.fabric.platforms()
+        usable = [c for c in candidates if c in known]
+        if not usable:
+            usable = [default_src]
+        if len(usable) == 1:
+            return usable[0]
+        return min(usable, key=lambda c: (
+            self.data.transfers.estimate(c, dst, obj.size_bytes), c))

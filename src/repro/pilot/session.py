@@ -17,7 +17,10 @@ mode:
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..data import DataConfig, DataServices
 
 from ..comm.bus import MessageBus
 from ..hpc.batch import BatchSystem
@@ -43,7 +46,8 @@ class Session:
     def __init__(self, mode: str = "virtual", seed: int = 0,
                  realtime_factor: float = 1.0,
                  platforms: Optional[List[Union[str, PlatformSpec]]] = None,
-                 uid: Optional[str] = None) -> None:
+                 uid: Optional[str] = None,
+                 data_config: Optional["DataConfig"] = None) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -59,6 +63,8 @@ class Session:
         self._batch: Dict[str, BatchSystem] = {}
         self._closed = False
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._data_config = data_config
+        self._data: Optional["DataServices"] = None
 
         specs: List[PlatformSpec] = []
         for entry in (platforms if platforms is not None
@@ -98,6 +104,15 @@ class Session:
     def rng(self, stream: str):
         """A named deterministic RNG stream scoped to this session."""
         return self.rng_hub.stream(stream)
+
+    @property
+    def data(self) -> "DataServices":
+        """The session's data subsystem (lazily created, shared by all
+        DataManagers so replica/cache knowledge spans managers)."""
+        if self._data is None:
+            from ..data import DataServices
+            self._data = DataServices(self, self._data_config)
+        return self._data
 
     @property
     def now(self) -> float:

@@ -76,6 +76,10 @@ class Task(_StatefulEntity):
         self.completed: Event = session.engine.event()
         #: wall/sim duration actually spent executing
         self.runtime_s: Optional[float] = None
+        #: soft node-affinity hint (dominant input object id), set by the
+        #: TaskManager's data-aware placement; an explicit
+        #: ``tags={"affinity": ...}`` on the description takes precedence
+        self.affinity_key: Optional[str] = None
 
     @property
     def is_final(self) -> bool:

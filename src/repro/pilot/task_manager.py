@@ -5,6 +5,16 @@ One driver process per task walks the pipeline of Fig. 2: TMGR scheduling
 execution -> output staging -> final state.  Failures are captured on the
 task (never crash the manager); cancellation interrupts the driver at
 whatever phase it is in, with slot cleanup guaranteed by the agent.
+
+Pilot binding is **data-aware** by default: a task whose inputs already
+(partially) live on some pilot's platform -- as replicas registered by the
+data subsystem -- is bound to the pilot holding the largest share of its
+input bytes, so warm caches are actually reached.  The policy degrades
+gracefully: no staged inputs, no replicas anywhere, or a hot pilot already
+carrying ``affinity_load_slack`` more live tasks than the least-loaded
+candidate all fall back to round-robin.  Compute slots are released by the
+agent *before* output staging runs, so stage-out never blocks the next
+task's placement.
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
+from ..data import PLACEMENTS
+from ..data.objects import object_id
 from ..sim.events import Event, Interrupt, Process
 from ..utils.log import get_logger
 from .data_manager import DataManager
@@ -31,15 +43,25 @@ class TaskManager:
     """Manages compute tasks within one session."""
 
     def __init__(self, session: "Session",
-                 client_platform: str = "localhost") -> None:
+                 client_platform: str = "localhost",
+                 placement: Optional[str] = None) -> None:
         self.session = session
         self.uid = session.ids.generate("tmgr")
         self.data_manager = DataManager(session, client_platform)
+        self.placement = placement or session.data.config.placement
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r} (known: {PLACEMENTS})")
+        #: how often data affinity (vs round-robin fallback) decided binding
+        self.affinity_placements = 0
         self._pilots: List[Pilot] = []
         self._tasks: Dict[str, Task] = {}
         self._drivers: Dict[str, Process] = {}
         self._callbacks: List[Callable[[Task, str], None]] = []
         self._rr = itertools.count()
+        #: live (non-final) tasks bound per pilot uid, kept O(1) so
+        #: placement never rescans the task table
+        self._live_bound: Dict[str, int] = {}
 
     # -- pilot binding -----------------------------------------------------------
     def add_pilots(self, pilots: Union[Pilot, Iterable[Pilot]]) -> None:
@@ -76,7 +98,67 @@ class TaskManager:
                       if p.state not in PilotState.FINAL]
         if not candidates:
             raise RuntimeError("all attached pilots are final")
+        if self.placement == "data_affinity":
+            self._tag_node_affinity(task)
+            if len(candidates) > 1:
+                choice = self._affinity_choice(task, candidates)
+                if choice is not None:
+                    self.affinity_placements += 1
+                    self.session.profiler.record(
+                        self.session.engine.now, task.uid,
+                        "placement_affinity", self.uid)
+                    return choice
         return candidates[next(self._rr) % len(candidates)]
+
+    def _tag_node_affinity(self, task: Task) -> None:
+        """Propagate data affinity down to node placement.
+
+        Marks the *task* (never the caller-owned description) with its
+        dominant input object so the pilot's AgentScheduler softly prefers
+        the node last used for that object.  Recomputed per submission, so
+        reused descriptions never carry a stale hint; explicit user tags
+        take precedence in the scheduler.
+        """
+        staging = [s for s in task.description.input_staging
+                   if s.action == "transfer" and s.size_bytes > 0]
+        if not staging:
+            return
+        dominant = max(staging, key=lambda s: s.size_bytes)
+        task.affinity_key = object_id(dominant.source or dominant.target,
+                                      dominant.size_bytes)
+
+    def _live_load(self, pilot: Pilot) -> int:
+        """Non-final tasks currently bound to *pilot* (placement pressure)."""
+        return self._live_bound.get(pilot.uid, 0)
+
+    def _affinity_choice(self, task: Task,
+                         candidates: List[Pilot]) -> Optional[Pilot]:
+        """The pilot whose platform holds the most input bytes, or None.
+
+        Returns None (round-robin fallback) when the task stages nothing,
+        no candidate platform holds any of its inputs, or every best-scoring
+        pilot is overloaded relative to the least-loaded candidate by more
+        than the configured slack.
+        """
+        staging = task.description.input_staging
+        if not staging:
+            return None
+        data = self.session.data
+        pairs = data.input_objects(staging)  # digest once, score per pilot
+        scores = {p.uid: data.resident_object_bytes(p.platform.name, pairs)
+                  for p in candidates}
+        best = max(scores.values())
+        if best <= 0:
+            return None
+        top = [p for p in candidates if scores[p.uid] >= best]
+        min_load = min(self._live_load(p) for p in candidates)
+        slack = data.config.affinity_load_slack
+        top = [p for p in top if self._live_load(p) <= min_load + slack]
+        if not top:
+            return None
+        if len(top) == 1:
+            return top[0]
+        return top[next(self._rr) % len(top)]
 
     # -- submission ----------------------------------------------------------------
     def submit_tasks(
@@ -98,11 +180,20 @@ class TaskManager:
 
     def _drive(self, task: Task):
         """Driver process: full task lifecycle with failure capture."""
+        try:
+            yield from self._drive_bound(task)
+        finally:
+            if task.pilot_uid is not None:
+                self._live_bound[task.pilot_uid] -= 1
+
+    def _drive_bound(self, task: Task):
         d = task.description
         try:
             task.advance(TaskState.TMGR_SCHEDULING, self.uid)
             pilot = self._select_pilot(task)
             task.pilot_uid = pilot.uid
+            self._live_bound[pilot.uid] = \
+                self._live_bound.get(pilot.uid, 0) + 1
             if not pilot.is_active:
                 yield pilot.became_active
             platform_name = pilot.platform.name
@@ -115,6 +206,9 @@ class TaskManager:
             result = yield from pilot.agent.run_task(task)
 
             if d.output_staging:
+                # run_task released the task's slots already: stage-out
+                # overlaps with successor tasks' scheduling and execution
+                # instead of holding compute hostage to the fabric.
                 task.advance(TaskState.TMGR_STAGING_OUTPUT, self.uid)
                 yield from self.data_manager.stage(
                     d.output_staging, platform_name, task.uid, "stage_out")

@@ -1,0 +1,154 @@
+"""Tests for the per-platform LRU cache manager."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import CacheManager, DataObject
+
+
+def obj(name: str, size: float) -> DataObject:
+    return DataObject(oid=f"obj.{name}", size_bytes=size, source=name)
+
+
+class TestAdmission:
+    def test_admit_and_contains(self):
+        cache = CacheManager(capacity_bytes=100)
+        admitted, evicted = cache.admit("delta", obj("a", 60))
+        assert admitted and not evicted
+        assert cache.contains("delta", "obj.a")
+        assert cache.occupancy("delta") == 60
+
+    def test_platforms_are_independent(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 60))
+        assert not cache.contains("frontier", "obj.a")
+        assert cache.occupancy("frontier") == 0
+
+    def test_oversized_object_never_admitted(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("small", 50))
+        admitted, evicted = cache.admit("delta", obj("huge", 101))
+        assert not admitted
+        assert evicted == []  # pass-through: evicts nothing either
+        assert cache.contains("delta", "obj.small")
+
+    def test_zero_capacity_admits_nothing(self):
+        cache = CacheManager(capacity_bytes=0)
+        admitted, _ = cache.admit("delta", obj("a", 1))
+        assert not admitted
+
+    def test_readmission_is_a_touch(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 40))
+        cache.admit("delta", obj("b", 40))
+        admitted, evicted = cache.admit("delta", obj("a", 40))
+        assert admitted and not evicted
+        assert cache.occupancy("delta") == 80
+        # "a" became MRU, so "b" is now the eviction victim
+        _, evicted = cache.admit("delta", obj("c", 40))
+        assert [o.oid for o in evicted] == ["obj.b"]
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 40))
+        cache.admit("delta", obj("b", 40))
+        _, evicted = cache.admit("delta", obj("c", 40))
+        assert [o.oid for o in evicted] == ["obj.a"]
+        assert cache.entries("delta") == ["obj.b", "obj.c"]
+
+    def test_touch_rescues_from_eviction(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 40))
+        cache.admit("delta", obj("b", 40))
+        cache.touch("delta", "obj.a")
+        _, evicted = cache.admit("delta", obj("c", 40))
+        assert [o.oid for o in evicted] == ["obj.b"]
+
+    def test_multi_eviction_for_large_object(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 30))
+        cache.admit("delta", obj("b", 30))
+        cache.admit("delta", obj("c", 30))
+        _, evicted = cache.admit("delta", obj("big", 90))
+        assert {o.oid for o in evicted} == {"obj.a", "obj.b", "obj.c"}
+        assert cache.occupancy("delta") == 90
+
+    def test_explicit_evict(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 40))
+        victim = cache.evict("delta", "obj.a")
+        assert victim.oid == "obj.a"
+        assert cache.occupancy("delta") == 0
+        assert cache.evict("delta", "obj.a") is None
+
+    def test_eviction_stats(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.admit("delta", obj("a", 60))
+        cache.admit("delta", obj("b", 60))
+        assert cache.evictions == 1
+        assert cache.bytes_evicted == 60
+
+
+class TestFloatResidue:
+    def test_exact_capacity_admission_after_residual_drift(self):
+        """Out-of-order removals leave float residue in the occupancy
+        accumulator; an exact-capacity admission on the emptied cache must
+        still succeed instead of crashing the eviction loop."""
+        cache = CacheManager(capacity_bytes=1.0)
+        names = [f"o{i}" for i in range(6)]
+        for name in names:
+            cache.admit("p", obj(name, 0.1 + 0.01 * len(name)))
+        for name in reversed(names):
+            cache.discard("p", f"obj.{name}")
+        assert cache.entries("p") == []
+        admitted, evicted = cache.admit("p", obj("full", 1.0))
+        assert admitted and evicted == []
+        assert cache.occupancy("p") == 1.0
+
+
+class TestCapacityConfig:
+    def test_per_platform_override(self):
+        cache = CacheManager(capacity_bytes=100, per_platform={"edge": 10})
+        assert cache.capacity("delta") == 100
+        assert cache.capacity("edge") == 10
+        admitted, _ = cache.admit("edge", obj("a", 11))
+        assert not admitted
+
+    def test_set_capacity(self):
+        cache = CacheManager(capacity_bytes=100)
+        cache.set_capacity("delta", 10)
+        admitted, _ = cache.admit("delta", obj("a", 50))
+        assert not admitted
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheManager(capacity_bytes=-1)
+        with pytest.raises(ValueError):
+            CacheManager(per_platform={"delta": -1})
+
+
+@given(st.data())
+def test_occupancy_never_exceeds_capacity(data):
+    """Property: any admit/touch/evict traffic keeps occupancy <= capacity
+    and occupancy equal to the sum of resident entry sizes."""
+    capacity = data.draw(st.integers(min_value=0, max_value=200))
+    cache = CacheManager(capacity_bytes=float(capacity))
+    sizes = {}
+    for step in range(data.draw(st.integers(min_value=1, max_value=40))):
+        action = data.draw(st.sampled_from(["admit", "touch", "evict"]))
+        name = data.draw(st.sampled_from("abcdefgh"))
+        if action == "admit":
+            size = data.draw(st.integers(min_value=0, max_value=120))
+            sizes.setdefault(name, size)
+            admitted, _ = cache.admit("p", obj(name, sizes[name]))
+            if sizes[name] > capacity:
+                assert not admitted
+        elif action == "touch":
+            cache.touch("p", f"obj.{name}")
+        else:
+            cache.evict("p", f"obj.{name}")
+        assert cache.occupancy("p") <= capacity
+        assert cache.occupancy("p") == sum(
+            sizes[e.split(".", 1)[1]] for e in cache.entries("p"))

@@ -1,0 +1,98 @@
+"""Tests for content addressing, the object store and the replica registry."""
+
+import pytest
+
+from repro.data import DataObject, ObjectStore, ReplicaError, ReplicaRegistry
+from repro.data.objects import object_id
+
+
+class TestObjectId:
+    def test_deterministic(self):
+        assert object_id("a/b.dat", 100) == object_id("a/b.dat", 100)
+
+    def test_source_and_size_both_matter(self):
+        assert object_id("a", 100) != object_id("b", 100)
+        assert object_id("a", 100) != object_id("a", 101)
+
+    def test_float_and_int_sizes_agree(self):
+        assert object_id("a", 100) == object_id("a", 100.0)
+
+
+class TestObjectStore:
+    def test_intern_is_idempotent(self):
+        store = ObjectStore()
+        first = store.intern("data.h5", 1e9)
+        second = store.intern("data.h5", 1e9)
+        assert first is second
+        assert len(store) == 1
+
+    def test_distinct_objects_catalogued(self):
+        store = ObjectStore()
+        a = store.intern("a", 10)
+        b = store.intern("b", 20)
+        assert a.oid != b.oid
+        assert store.total_bytes == 30
+        assert a.oid in store and store.get(a.oid) is a
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataObject(oid="obj.x", size_bytes=-1)
+
+
+class TestReplicaRegistry:
+    def test_add_and_query(self):
+        reg = ReplicaRegistry()
+        reg.add("o1", "delta")
+        assert reg.holds("delta", "o1")
+        assert not reg.holds("frontier", "o1")
+        assert reg.holders("o1") == frozenset({"delta"})
+        assert reg.objects_at("delta") == frozenset({"o1"})
+
+    def test_remove(self):
+        reg = ReplicaRegistry()
+        reg.add("o1", "delta")
+        reg.remove("o1", "delta")
+        assert not reg.holds("delta", "o1")
+        assert reg.holders("o1") == frozenset()
+
+    def test_remove_absent_raises(self):
+        reg = ReplicaRegistry()
+        with pytest.raises(ReplicaError):
+            reg.remove("o1", "delta")
+
+    def test_durable_replica_protected(self):
+        reg = ReplicaRegistry()
+        reg.add("o1", "localhost", durable=True)
+        assert reg.is_durable("o1", "localhost")
+        with pytest.raises(ReplicaError):
+            reg.remove("o1", "localhost")
+        reg.remove("o1", "localhost", force=True)
+        assert not reg.holds("localhost", "o1")
+
+    def test_durable_upgrade_sticks(self):
+        reg = ReplicaRegistry()
+        reg.add("o1", "delta")
+        reg.add("o1", "delta", durable=True)
+        assert reg.is_durable("o1", "delta")
+        reg.add("o1", "delta")  # re-add without durable must not downgrade
+        assert reg.is_durable("o1", "delta")
+
+    def test_drop_location(self):
+        reg = ReplicaRegistry()
+        reg.add("o1", "delta")
+        reg.add("o2", "delta")
+        reg.add("o1", "frontier")
+        dropped = set(reg.drop_location("delta"))
+        assert dropped == {"o1", "o2"}
+        assert reg.holders("o1") == frozenset({"frontier"})
+        assert reg.holders("o2") == frozenset()
+
+    def test_resident_bytes(self):
+        reg = ReplicaRegistry()
+        store = ObjectStore()
+        a = store.intern("a", 100)
+        b = store.intern("b", 50)
+        reg.add(a.oid, "delta")
+        assert reg.resident_bytes("delta", [a, b]) == 100
+        reg.add(b.oid, "delta")
+        assert reg.resident_bytes("delta", [a, b]) == 150

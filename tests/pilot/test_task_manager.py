@@ -202,3 +202,178 @@ class TestPilotSelection:
             for _ in range(3)])
         session.run(until=tmgr.wait_tasks(tasks))
         assert tmgr.counts_by_state() == {TaskState.DONE: 3}
+
+
+class TestStageOutOverlap:
+    def test_slots_release_before_stage_out_finishes(self, env):
+        """Stage-out must not hold compute hostage: a queued task starts
+        executing while its predecessor is still staging results out."""
+        session, _, tmgr, pilot = env
+        (first,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=10.0, cores_per_rank=64, ranks=2,
+            output_staging=[{"source": "big-result", "target": "out",
+                             "size_bytes": int(100e9)}]))  # ~100 s WAN
+        (second,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0, cores_per_rank=64, ranks=2))
+        session.run(until=tmgr.wait_tasks([first, second]))
+        assert first.state == TaskState.DONE
+        assert second.state == TaskState.DONE
+        second_start = session.profiler.timestamp(second.uid, "exec_start")
+        stage_out_stop = session.profiler.timestamp(first.uid,
+                                                    "stage_out_stop")
+        assert second_start < stage_out_stop
+        assert pilot.free_capacity()["cores"] == 128
+
+    def test_slots_free_while_stage_out_in_flight(self, env):
+        session, _, tmgr, pilot = env
+        (task,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0, cores_per_rank=64, ranks=2,
+            output_staging=[{"source": "big-result", "target": "out",
+                             "size_bytes": int(100e9)}]))
+        session.run(until=30.0)  # past execution, inside stage-out
+        assert task.state == TaskState.TMGR_STAGING_OUTPUT
+        assert pilot.free_capacity()["cores"] == 128
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.DONE
+
+
+class TestStagingCancellation:
+    def test_cancel_mid_stage_in_frees_the_link(self, env):
+        """Cancelling a task aborts its in-flight transfers: the flow stops
+        consuming the shared link instead of draining for hours."""
+        session, _, tmgr, _ = env
+        (task,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0,
+            input_staging=[{"source": "huge", "size_bytes": int(1e13)}]))
+        session.run(until=20.0)
+        assert task.state == TaskState.TMGR_STAGING_INPUT
+        link = tmgr.data_manager.data.transfers.link("localhost", "delta")
+        assert link.active_flows == 1
+        tmgr.cancel_tasks(task)
+        session.run(until=tmgr.wait_tasks([task]))
+        assert task.state == TaskState.CANCELED
+        assert link.active_flows == 0
+        assert tmgr.data_manager.bytes_transferred == 0.0
+
+    def test_dedup_rider_survives_owner_cancellation(self, env):
+        """A task riding another task's in-flight transfer must not be
+        dragged down when the owner is cancelled: it retries on its own."""
+        session, _, tmgr, _ = env
+        directive = {"source": "shared-dataset", "size_bytes": int(100e9)}
+        (owner,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0, input_staging=[directive]))
+        (rider,) = tmgr.submit_tasks(TaskDescription(
+            executable="x", duration_s=1.0, input_staging=[directive]))
+        session.run(until=20.0)  # both inside stage-in, one real transfer
+        assert tmgr.data_manager.cache_misses == 1
+        tmgr.cancel_tasks(owner)
+        session.run(until=tmgr.wait_tasks([owner, rider]))
+        assert owner.state == TaskState.CANCELED
+        assert rider.state == TaskState.DONE
+        # the rider re-ran the transfer itself after the abort
+        assert tmgr.data_manager.bytes_transferred == pytest.approx(100e9)
+
+
+class TestDataAffinityPlacement:
+    def make_env(self, placement=None, data_config=None):
+        from repro.pilot import PilotManager, PilotState, Session
+        session = Session(seed=6, data_config=data_config)
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session, placement=placement)
+        pilots = pmgr.submit_pilots([
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e8),
+            PilotDescription(resource="frontier", nodes=2, runtime_s=1e8)])
+        tmgr.add_pilots(pilots)
+        return session, tmgr, pilots
+
+    @staticmethod
+    def staged(source, size=int(10e9)):
+        return TaskDescription(
+            executable="x", duration_s=1.0,
+            input_staging=[{"source": source, "size_bytes": size}])
+
+    def test_task_follows_its_bytes(self):
+        session, tmgr, pilots = self.make_env()
+        with session:
+            (first,) = tmgr.submit_tasks(self.staged("dataset/a"))
+            session.run(until=tmgr.wait_tasks([first]))
+            home = first.pilot_uid
+            # repeats (within the affinity load slack) all land where the
+            # data already sits
+            repeats = tmgr.submit_tasks(
+                [self.staged("dataset/a") for _ in range(6)])
+            session.run(until=tmgr.wait_tasks(repeats))
+            assert {t.pilot_uid for t in repeats} == {home}
+            assert tmgr.affinity_placements >= 6
+            assert tmgr.data_manager.cache_hits >= 6
+
+    def test_largest_share_wins(self):
+        session, tmgr, pilots = self.make_env()
+        with session:
+            (small,) = tmgr.submit_tasks(self.staged("small", int(1e9)))
+            session.run(until=tmgr.wait_tasks([small]))
+            (big,) = tmgr.submit_tasks(TaskDescription(
+                executable="x", duration_s=1.0, pilot=self._other(
+                    pilots, small.pilot_uid).uid,
+                input_staging=[{"source": "big", "size_bytes": int(20e9)}]))
+            session.run(until=tmgr.wait_tasks([big]))
+            # a task needing both prefers the platform holding more bytes
+            (both,) = tmgr.submit_tasks(TaskDescription(
+                executable="x", duration_s=1.0,
+                input_staging=[
+                    {"source": "small", "size_bytes": int(1e9)},
+                    {"source": "big", "size_bytes": int(20e9)}]))
+            session.run(until=tmgr.wait_tasks([both]))
+            assert both.pilot_uid == big.pilot_uid
+
+    @staticmethod
+    def _other(pilots, uid):
+        return next(p for p in pilots if p.uid != uid)
+
+    def test_no_staging_falls_back_to_round_robin(self):
+        session, tmgr, pilots = self.make_env()
+        with session:
+            tasks = tmgr.submit_tasks([
+                TaskDescription(executable="x", duration_s=1.0)
+                for _ in range(10)])
+            session.run(until=tmgr.wait_tasks(tasks))
+            assert {t.pilot_uid for t in tasks} == {p.uid for p in pilots}
+            assert tmgr.affinity_placements == 0
+
+    def test_round_robin_placement_opt_out(self):
+        session, tmgr, pilots = self.make_env(placement="round_robin")
+        with session:
+            (first,) = tmgr.submit_tasks(self.staged("dataset/a"))
+            session.run(until=tmgr.wait_tasks([first]))
+            repeats = tmgr.submit_tasks(
+                [self.staged("dataset/a") for _ in range(10)])
+            session.run(until=tmgr.wait_tasks(repeats))
+            assert {t.pilot_uid for t in repeats} == {p.uid for p in pilots}
+            assert tmgr.affinity_placements == 0
+
+    def test_overloaded_preferred_pilot_yields(self):
+        from repro.data import DataConfig
+        session, tmgr, pilots = self.make_env(
+            data_config=DataConfig(affinity_load_slack=2))
+        with session:
+            (first,) = tmgr.submit_tasks(self.staged("dataset/a"))
+            session.run(until=tmgr.wait_tasks([first]))
+            home = first.pilot_uid
+            # pile long-running work onto the preferred pilot...
+            hogs = tmgr.submit_tasks([
+                TaskDescription(executable="x", duration_s=1e6,
+                                pilot=home) for _ in range(5)])
+            session.run(until=session.now + 1.0)
+            # ...so affinity yields to load and round-robin takes over
+            spread = tmgr.submit_tasks(
+                [self.staged("dataset/a") for _ in range(8)])
+            session.run(until=session.now + 1.0)
+            assert {t.pilot_uid for t in spread} == {p.uid for p in pilots}
+            tmgr.cancel_tasks(hogs + spread)
+            session.run(until=tmgr.wait_tasks())
+
+    def test_invalid_placement_rejected(self):
+        from repro.pilot import Session
+        with Session(seed=1) as session:
+            with pytest.raises(ValueError):
+                TaskManager(session, placement="gravity")

@@ -113,7 +113,9 @@ def test_scheduler_never_oversubscribes(data):
     Accounting is over *all* tasks ever created: slots are assigned eagerly
     at grant time, so ``task.slots`` is the ground truth regardless of when
     the grant event gets processed.  Infeasible requests fail their grant
-    and must leave capacity untouched (their failure is defused).
+    and must leave capacity untouched (their failure is defused).  Requests
+    randomly carry data-affinity tags: the soft node preference must never
+    weaken the invariant.
     """
     with Session(seed=0) as session:
         n_nodes = data.draw(st.integers(min_value=1, max_value=4))
@@ -128,8 +130,12 @@ def test_scheduler_never_oversubscribes(data):
                 sched.release(holders[data.draw(st.integers(
                     min_value=0, max_value=len(holders) - 1))])
             else:
+                tags = {}
+                if data.draw(st.booleans()):
+                    tags["affinity"] = data.draw(st.sampled_from("xyz"))
                 desc = TaskDescription(
                     executable="x",
+                    tags=tags,
                     ranks=data.draw(st.integers(min_value=1, max_value=2)),
                     cores_per_rank=data.draw(
                         st.integers(min_value=1, max_value=cores)),
@@ -150,6 +156,78 @@ def test_scheduler_never_oversubscribes(data):
             for node in nodes:
                 assert 0 <= node.free_cores <= cores
                 assert 0 <= node.free_gpus <= gpus
+
+
+# ---------------------------------------------------------------------------
+# Data subsystem: caches and replica registry
+# ---------------------------------------------------------------------------
+
+@given(st.data())
+def test_replica_registry_matches_actual_holdings(data):
+    """Random durable-register/admit traffic keeps the registry truthful:
+    it reports an object at a location iff a durable copy or a cache entry
+    actually sits there, and cache occupancy never exceeds capacity."""
+    from repro.data import DataConfig, DataServices
+
+    capacity = float(data.draw(st.integers(min_value=0, max_value=300)))
+    with Session(seed=0) as session:
+        services = DataServices(session, DataConfig(
+            cache_capacity_bytes=capacity))
+        platforms = ["delta", "frontier"]
+        durable: dict = {}  # (oid, location) -> True
+        objects = {}
+        for _step in range(data.draw(st.integers(min_value=1, max_value=40))):
+            name = data.draw(st.sampled_from("abcdef"))
+            if name not in objects:
+                objects[name] = services.objects.intern(
+                    name, data.draw(st.integers(min_value=0, max_value=150)))
+            obj = objects[name]
+            location = data.draw(st.sampled_from(platforms + ["localhost"]))
+            if data.draw(st.booleans()) and location == "localhost":
+                services.register_durable(obj.oid, location)
+                durable[(obj.oid, location)] = True
+            else:
+                services.admit(location, obj)
+            # invariants, checked after every operation
+            for platform in platforms + ["localhost"]:
+                assert services.cache.occupancy(platform) <= capacity
+                for o in objects.values():
+                    held = services.replicas.holds(platform, o.oid)
+                    actual = (durable.get((o.oid, platform), False)
+                              or services.cache.contains(platform, o.oid))
+                    assert held == actual
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_tasks=st.integers(min_value=1, max_value=8),
+       n_objects=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=100))
+def test_staging_conserves_bytes(n_tasks, n_objects, seed):
+    """moved + saved == requested for any task/object mix, and each unique
+    (object, platform) pair is moved at most once while caches are warm."""
+    from repro.pilot import PilotDescription, PilotManager, TaskManager
+
+    with Session(seed=seed) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        tmgr.add_pilots(pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e9)))
+        size = 1e8
+        tasks = tmgr.submit_tasks([
+            TaskDescription(
+                executable="x", duration_s=1.0,
+                input_staging=[{"source": f"obj-{i % n_objects}",
+                                "size_bytes": size}])
+            for i in range(n_tasks)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.state == TaskState.DONE for t in tasks)
+        dm = tmgr.data_manager
+        requested = n_tasks * size
+        assert dm.bytes_transferred + dm.bytes_saved == \
+            pytest.approx(requested)
+        # one platform: each distinct object crosses the WAN exactly once
+        assert dm.bytes_transferred == \
+            pytest.approx(min(n_objects, n_tasks) * size)
 
 
 # ---------------------------------------------------------------------------
