@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Fault tolerance walkthrough: injection, detection, policy recovery.
+
+An iterative campaign (rounds of dependent task waves) runs four times:
+
+1. **crash-free**  -- no faults: the goodput baseline;
+2. **no recovery** -- MTBF-injected node crashes kill tasks and the
+                      campaign dies at its first broken round (the
+                      pre-resilience behaviour);
+3. **retry**       -- the same fault schedule, but failed tasks re-bind
+                      to surviving capacity after jittered backoff, and a
+                      preempted pilot is resubmitted through the batch
+                      queue once its heartbeat lease expires;
+4. **checkpoint**  -- a pilot walltime kill ends the campaign mid-flight;
+                      a restarted campaign resumes from the last durable
+                      per-round checkpoint instead of replaying from
+                      round zero.
+
+Failures are *observed*, never known: recovery waits for heartbeat-lease
+expiry, and the printed detection latencies are monitor declarations
+joined against the injector's ground-truth fault times.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import (
+    FaultModel,
+    PilotDescription,
+    PilotManager,
+    PilotResubmitPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    Session,
+    TaskDescription,
+    TaskManager,
+)
+from repro.analytics import ReportBuilder, failure_metrics
+from repro.pilot.states import TaskState
+
+ROUNDS = 6
+TASKS_PER_ROUND = 16
+TASK_DURATION_S = 60.0
+TASK_CORES = 8
+WORKLOAD_CORE_S = ROUNDS * TASKS_PER_ROUND * TASK_DURATION_S * TASK_CORES
+
+
+def run_campaign(label, config, walltime_s=1e9, store_key=None, seed=29):
+    """Drive one campaign; returns (row, detection latencies)."""
+    with Session(seed=seed, resilience_config=config) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(PilotDescription(
+            resource="delta", nodes=2, runtime_s=walltime_s))
+        tmgr.add_pilots(pilot)
+        checkpoints = session.resilience.checkpoints
+        first_round = 0
+        if store_key and checkpoints.has(store_key):
+            first_round = checkpoints.latest(store_key)[0] + 1
+            print(f"  [{label}] resuming from round {first_round} "
+                  "(durable checkpoint)")
+        rounds_done = first_round
+        for rnd in range(first_round, ROUNDS):
+            tasks = tmgr.submit_tasks([
+                TaskDescription(name=f"r{rnd}-t{i}", executable="sim",
+                                duration_s=TASK_DURATION_S,
+                                cores_per_rank=TASK_CORES)
+                for i in range(TASKS_PER_ROUND)])
+            session.run(until=tmgr.wait_tasks(tasks))
+            if any(t.state != TaskState.DONE for t in tasks):
+                print(f"  [{label}] round {rnd} broke at "
+                      f"t={session.now:.0f}s -- campaign over")
+                break
+            rounds_done += 1
+            if store_key:
+                proc = session.engine.process(
+                    checkpoints.save(store_key, rnd, None, nbytes=1e9))
+                session.run(until=proc)
+        metrics = failure_metrics(session, tmgr.tasks)
+        row = [label, f"{rounds_done}/{ROUNDS}", f"{session.now:.0f}",
+               f"{metrics.goodput_core_s / WORKLOAD_CORE_S * 100:.0f}%",
+               metrics.failures_total, metrics.retries_granted,
+               dict(metrics.failure_reasons) or "-"]
+        return row, session.resilience.detection_latencies(), metrics
+
+
+def main() -> None:
+    report = ReportBuilder("Fault tolerance: crash-free vs MTBF-injected "
+                           f"runs ({ROUNDS}x{TASKS_PER_ROUND} tasks)")
+    rows, detections = [], []
+
+    # 1. crash-free baseline
+    row, _, _ = run_campaign("crash-free", ResilienceConfig(retry=None))
+    rows.append(row)
+
+    # 2. node faults, no recovery: the campaign collapses
+    faults = FaultModel(node_mtbf_s=200.0, node_mttr_s=120.0)
+    row, _, _ = run_campaign("faults, none", ResilienceConfig(
+        retry=None, faults=faults))
+    rows.append(row)
+
+    # 3. same faults + preemption, full recovery: retry + resubmission
+    config = ResilienceConfig(
+        heartbeat_interval_s=5.0,
+        retry=RetryPolicy(max_retries=3, backoff_base_s=2.0),
+        pilot_resubmit=PilotResubmitPolicy(max_resubmits=2),
+        faults=FaultModel(node_mtbf_s=200.0, node_mttr_s=120.0,
+                          pilot_preempt_mtbf_s=2500.0))
+    row, lat, _ = run_campaign("faults, retry", config)
+    rows.append(row)
+    detections.extend(lat)
+
+    # 4. walltime kill + checkpoint/restart across two sessions
+    store = {}
+
+    def checkpoint_config():
+        return ResilienceConfig(
+            heartbeat_interval_s=5.0,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=2.0,
+                              rebind_wait_s=30.0),
+            checkpoint_store=store)
+
+    row, lat, _ = run_campaign("kill at 200s", checkpoint_config(),
+                               walltime_s=200.0, store_key="demo")
+    rows.append(row)
+    detections.extend(lat)
+    row, lat, _ = run_campaign("restarted", checkpoint_config(),
+                               store_key="demo", seed=31)
+    rows.append(row)
+    detections.extend(lat)
+
+    report.add_table(
+        ["campaign", "rounds", "makespan(s)", "committed", "failures",
+         "retries", "failure reasons"], rows)
+    if detections:
+        report.add_text(
+            "Detection latencies (heartbeat leases, 5s beats, 3 misses): "
+            + ", ".join(f"{d:.1f}s" for d in detections)
+            + " -- recovery acted on observed silence, not oracle events.")
+    print()
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

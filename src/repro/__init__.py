@@ -47,6 +47,14 @@ from .pilot import (
     TaskState,
 )
 from .data import DataConfig, DataServices
+from .resilience import (
+    CheckpointPolicy,
+    FaultModel,
+    PilotResubmitPolicy,
+    ResilienceConfig,
+    ResilienceServices,
+    RetryPolicy,
+)
 from .core import (
     Autoscaler,
     AutoscalerConfig,
@@ -69,9 +77,15 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointPolicy",
     "DataConfig",
     "DataManager",
     "DataServices",
+    "FaultModel",
+    "PilotResubmitPolicy",
+    "ResilienceConfig",
+    "ResilienceServices",
+    "RetryPolicy",
     "Pilot",
     "PilotDescription",
     "PilotManager",

@@ -36,6 +36,8 @@ __all__ = [
     "response_metrics",
     "DataMetrics",
     "data_metrics",
+    "FailureMetrics",
+    "failure_metrics",
 ]
 
 
@@ -246,6 +248,103 @@ def data_metrics(manager) -> DataMetrics:
         dedup_hits=manager.dedup_hits,
         links=manager.links_total,
         transfer_wait=dist_stats(manager.transfer_wait_s),
+    )
+
+
+@dataclass(frozen=True)
+class FailureMetrics:
+    """Resilience accounting: what broke, when it was seen, what it cost.
+
+    ``goodput_core_s`` is useful work committed by DONE tasks;
+    ``wasted_core_s`` is compute consumed by attempts that then failed
+    (including attempts later retried to success).  ``detection_latency``
+    measures fault to heartbeat-lease expiry -- the real observation delay
+    of the control plane -- and ``recovery_latency`` measures failure to
+    re-dispatch (detection + backoff + capacity wait).
+    """
+
+    n_tasks: int
+    n_done: int
+    n_failed: int              # terminally failed (after retries)
+    n_canceled: int
+    failures_total: int        # attempt failures, incl. recovered ones
+    failure_reasons: Dict[str, int]   # "origin:ExceptionType" -> count
+    retries_granted: int
+    tasks_retried: int
+    faults_injected: int
+    resubmissions: int
+    goodput_core_s: float
+    wasted_core_s: float
+    detection_latency: DistStats
+    recovery_latency: DistStats
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful share of all consumed core-seconds."""
+        total = self.goodput_core_s + self.wasted_core_s
+        if total <= 0:
+            return float("nan")
+        return self.goodput_core_s / total
+
+    def row(self) -> Dict[str, object]:
+        """Flat report row (core-hours for readability)."""
+        return {
+            "done": f"{self.n_done}/{self.n_tasks}",
+            "attempt_failures": self.failures_total,
+            "retries": self.retries_granted,
+            "goodput_core_h": self.goodput_core_s / 3600.0,
+            "wasted_core_h": self.wasted_core_s / 3600.0,
+            "goodput_frac": self.goodput_fraction,
+            "detect_p50_s": self.detection_latency.p50,
+            "recover_p50_s": self.recovery_latency.p50,
+        }
+
+
+def failure_metrics(session, tasks) -> FailureMetrics:
+    """Extract :class:`FailureMetrics` from a session and its tasks.
+
+    Works with or without the resilience subsystem: without it, detection
+    and recovery distributions are empty and only the per-task failure
+    reasons/goodput accounting remain.
+    """
+    from ..resilience.failures import failure_counts
+
+    tasks = list(tasks)
+    states = [t.state for t in tasks]
+    goodput = sum((t.runtime_s or 0.0) * t.n_cores for t in tasks
+                  if t.state == "DONE")
+    wasted = sum(reason.wasted_core_s for t in tasks
+                 for reason in t.failures)
+    res = session.resilience
+    detections: List[float] = []
+    recoveries: List[float] = []
+    retries = 0
+    faults = 0
+    resubs = 0
+    if res is not None:
+        detections = res.detection_latencies()
+        recoveries = res.recovery.recovery_latencies()
+        retries = res.recovery.retries_granted
+        resubs = len(res.recovery.resubmissions)
+        if res.injector is not None:
+            faults = len([r for r in res.injector.records
+                          if not r.kind.endswith("_repair")])
+    return FailureMetrics(
+        n_tasks=len(tasks),
+        n_done=states.count("DONE"),
+        n_failed=sum(1 for t in tasks
+                     if t.state == "FAILED" and t.completed.triggered),
+        n_canceled=states.count("CANCELED"),
+        failures_total=sum(len(t.failures) for t in tasks),
+        failure_reasons=failure_counts(tasks),
+        retries_granted=retries,
+        tasks_retried=sum(1 for t in tasks if t.attempts > 1),
+        faults_injected=faults,
+        resubmissions=resubs,
+        goodput_core_s=goodput,
+        wasted_core_s=wasted,
+        detection_latency=dist_stats(detections),
+        recovery_latency=dist_stats(recoveries),
     )
 
 

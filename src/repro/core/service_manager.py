@@ -101,6 +101,11 @@ class ServiceManager:
         self._drivers: Dict[str, Process] = {}
         #: concurrent model loads per platform (drives init contention)
         self._loading: Dict[str, int] = {}
+        self._resilience = session.resilience
+        self._own_monitor = None  # lazy, for liveness without resilience
+        if self._resilience is not None and \
+                self._resilience.injector is not None:
+            self._resilience.injector.arm_services(self)
 
     # -- local (pilot-hosted) services ---------------------------------------------
     def start_services(
@@ -210,6 +215,9 @@ class ServiceManager:
             profiler.record(engine.now, handle.uid, "bootstrap_stop",
                             self.uid)
             handle.ready.succeed(handle)
+            if self._resilience is not None:
+                self.watch_liveness(
+                    handle, misses=self._resilience.config.lease_misses)
             log.info("%s ready at %s (t=%.1fs)", handle.uid, handle.address,
                      engine.now)
 
@@ -239,6 +247,18 @@ class ServiceManager:
                      exc: BaseException) -> None:
         if handle.instance is not None and handle.instance.running:
             handle.instance.stop()
+        if handle.address is not None \
+                and self.registry.lookup(handle.address.name) is not None:
+            # The failure is now *observed* (liveness/startup watchdog):
+            # scrub the stale endpoint so no new traffic routes there.
+            name = handle.address.name
+
+            def scrub():
+                yield self._reg_sock.request(self.registry.address,
+                                             {"op": "deregister",
+                                              "name": name})
+
+            self.session.engine.process(scrub())
         if handle.service_state not in ServiceState.FINAL:
             handle.service_state = ServiceState.FAILED
             self.session.profiler.record(
@@ -294,6 +314,9 @@ class ServiceManager:
             handle.instance.start()
             handle.advance_service(ServiceState.READY)
             handle.ready.succeed(handle)
+            if self._resilience is not None:
+                self.watch_liveness(
+                    handle, misses=self._resilience.config.lease_misses)
 
             yield handle._stop_requested
             handle.advance_service(ServiceState.STOPPING)
@@ -359,7 +382,37 @@ class ServiceManager:
             handles = [handles]
         return self.session.engine.all_of([h.stopped for h in handles])
 
+    # -- fault injection ------------------------------------------------------------------
+    def crash_service(self, handle: ServiceHandle) -> bool:
+        """Crash a service's data plane abruptly (fault injection).
+
+        The instance dies mid-flight: admitted requests are dropped, the
+        endpoint socket unbinds, heartbeats cease.  Nothing notifies the
+        control plane -- the liveness watchdog has to notice the silence,
+        which is exactly the detection latency the resilience metrics
+        report.  Returns False when there was nothing live to crash.
+        """
+        if handle.instance is None or not handle.instance.running:
+            return False
+        handle.instance.stop()
+        return True
+
     # -- liveness ------------------------------------------------------------------------
+    def _liveness_monitor(self):
+        """The HeartbeatMonitor service leases live on.
+
+        Resilient sessions share the subsystem's monitor (service
+        declarations land in the same detection records as pilot ones);
+        otherwise a manager-local monitor provides the lease semantics.
+        """
+        if self._resilience is not None:
+            return self._resilience.monitor
+        if self._own_monitor is None:
+            from ..resilience.detection import HeartbeatMonitor
+            self._own_monitor = HeartbeatMonitor(
+                self.session, platform=self.registry.platform)
+        return self._own_monitor
+
     def watch_liveness(self, handle: ServiceHandle,
                        misses: int = 3) -> Process:
         """Spawn a watchdog failing the service after missed heartbeats."""
@@ -367,33 +420,21 @@ class ServiceManager:
             self._liveness_loop(handle, misses))
 
     def _liveness_loop(self, handle: ServiceHandle, misses: int):
-        engine = self.session.engine
-        interval = handle.description.heartbeat_interval_s
-        sub = self.session.bus.subscribe(f"heartbeat.{handle.uid}",
-                                         platform=self.registry.platform)
-        get_ev = sub.get()
-        try:
-            while True:
-                if handle.service_state in (ServiceState.STOPPING,
-                                            *ServiceState.FINAL):
-                    return
-                timer = engine.timeout(misses * interval)
-                yield engine.any_of([get_ev, timer])
-                if get_ev.processed:
-                    if not timer.processed:
-                        timer.cancel()
-                    get_ev = sub.get()
-                    continue
-                # No heartbeat within the deadline.
-                if handle.service_state == ServiceState.READY:
-                    log.warning("%s missed %d heartbeats; marking FAILED",
-                                handle.uid, misses)
-                    driver = self._drivers.get(handle.uid)
-                    if driver is not None and driver.is_alive:
-                        driver.interrupt("liveness failure")
-                return
-        finally:
-            sub.cancel()
+        """Lease the instance's existing heartbeat channel; act on expiry."""
+        monitor = self._liveness_monitor()
+        lease = monitor.watch(handle.uid,
+                              handle.description.heartbeat_interval_s,
+                              misses, topic=f"heartbeat.{handle.uid}")
+        yield self.session.engine.any_of([lease.declared, handle.stopped])
+        if not lease.declared.processed:
+            monitor.deregister(handle.uid)  # orderly end: no declaration
+            return
+        if handle.service_state == ServiceState.READY:
+            log.warning("%s missed %d heartbeats; marking FAILED",
+                        handle.uid, misses)
+            driver = self._drivers.get(handle.uid)
+            if driver is not None and driver.is_alive:
+                driver.interrupt("liveness failure")
 
     # -- introspection -------------------------------------------------------------------
     def get(self, uid: str) -> ServiceHandle:

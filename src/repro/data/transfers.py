@@ -58,6 +58,12 @@ class TransferScheduler:
         self._links: Dict[Tuple[str, str], SharedLink] = {}
         self.records: List[TransferRecord] = []
         self.bytes_moved = 0.0
+        #: optional fault hook set by the resilience FaultInjector:
+        #: ``corruption_check(src, dst, nbytes) -> bool`` decides whether a
+        #: fully drained transfer arrives corrupt (checksum mismatch) and
+        #: must be surfaced as :class:`TransferAborted`
+        self.corruption_check = None
+        self.corrupted_count = 0
 
     # -- links -------------------------------------------------------------------
     def link(self, src: str, dst: str) -> SharedLink:
@@ -107,6 +113,14 @@ class TransferScheduler:
                 # cancelled mid-flight: free the link for survivors
                 link.abort(flow)
                 raise
+            # A link flap fails the flow event itself: the exception (a
+            # TransferAborted from the injector) propagates to the caller.
+            if self.corruption_check is not None \
+                    and self.corruption_check(src, dst, nbytes):
+                self.corrupted_count += 1
+                raise TransferAborted(
+                    f"transfer {src}->{dst} arrived corrupt "
+                    f"({nbytes:.3g} bytes, checksum mismatch)")
         self.bytes_moved += nbytes
         record = TransferRecord(src=src, dst=dst, nbytes=float(nbytes),
                                 started=started, finished=engine.now, uid=uid)

@@ -35,8 +35,9 @@ class JobState:
     COMPLETED = "COMPLETED"
     TIMEOUT = "TIMEOUT"
     CANCELLED = "CANCELLED"
+    FAILED = "FAILED"        # preempted / system fault, not user-initiated
 
-    FINAL = (COMPLETED, TIMEOUT, CANCELLED)
+    FINAL = (COMPLETED, TIMEOUT, CANCELLED, FAILED)
 
 
 class BatchJob:
@@ -112,6 +113,17 @@ class BatchSystem:
         if job.state != JobState.RUNNING:
             raise RuntimeError(f"cannot complete job in state {job.state}")
         self._finish(job, JobState.COMPLETED)
+
+    def fail(self, job: BatchJob) -> None:
+        """Kill a running job from the system side (preemption, HW fault).
+
+        Unlike :meth:`cancel` this is not a user action: the job finishes
+        ``FAILED``, which pilot managers map to a failed (and therefore
+        recoverable/resubmittable) pilot rather than a cancelled one.
+        """
+        if job.state != JobState.RUNNING:
+            raise RuntimeError(f"cannot fail job in state {job.state}")
+        self._finish(job, JobState.FAILED)
 
     def cancel(self, job: BatchJob) -> None:
         """Cancel a pending or running job."""

@@ -194,6 +194,24 @@ class SharedLink:
         self._reschedule()
         return done
 
+    def interrupt_all(self, make_exc) -> int:
+        """Fail every active flow (a link flap); returns the victim count.
+
+        ``make_exc(flow)`` builds the exception each flow's completion
+        event fails with -- waiters (transfer processes) observe it as a
+        raised error and surface it as ``TransferAborted`` to staging.
+        Failed events are defused so an already-detached waiter cannot
+        crash the engine.
+        """
+        self._settle()
+        victims, self._flows = self._flows, []
+        for flow in victims:
+            self.bytes_total -= flow.remaining  # undelivered bytes
+            flow.done.fail(make_exc(flow))
+            flow.done.defuse()
+        self._reschedule()
+        return len(victims)
+
     def abort(self, done: Event) -> bool:
         """Withdraw the flow identified by its completion event.
 

@@ -40,7 +40,19 @@ class Slot:
 
 
 class NodeState:
-    """Mutable free/busy accounting for one node."""
+    """Mutable free/busy accounting for one node.
+
+    Nodes carry a *health* state driven by the resilience subsystem's fault
+    injector: ``up`` (normal), ``degraded`` (draining -- running slots
+    survive but no new slots are placed) and ``down`` (crashed -- the
+    injector kills resident work; the node rejects placements until it is
+    repaired after its MTTR).  Slot accounting is independent of health so
+    a release on a down node keeps the books consistent for the repair.
+    """
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DOWN = "down"
 
     def __init__(self, index: int, name: str, cores: int, gpus: int,
                  mem_gb: float) -> None:
@@ -49,9 +61,27 @@ class NodeState:
         self.num_cores = cores
         self.num_gpus = gpus
         self.mem_gb = mem_gb
+        self.health = NodeState.UP
         self._free_cores: List[int] = list(range(cores))
         self._free_gpus: List[int] = list(range(gpus))
         self._free_mem = float(mem_gb)
+
+    # -- health ----------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self.health == NodeState.UP
+
+    def mark_down(self) -> None:
+        """Crash the node: placements are rejected until :meth:`mark_up`."""
+        self.health = NodeState.DOWN
+
+    def mark_degraded(self) -> None:
+        """Drain the node: running slots survive, new placements skip it."""
+        self.health = NodeState.DEGRADED
+
+    def mark_up(self) -> None:
+        """Repair the node (end of MTTR window)."""
+        self.health = NodeState.UP
 
     # -- capacity queries ------------------------------------------------------
     @property
@@ -68,7 +98,8 @@ class NodeState:
 
     def fits(self, cores: int, gpus: int = 0, mem_gb: float = 0.0) -> bool:
         """Can this node currently host the requested slot?"""
-        return (len(self._free_cores) >= cores
+        return (self.health == NodeState.UP
+                and len(self._free_cores) >= cores
                 and len(self._free_gpus) >= gpus
                 and self._free_mem >= mem_gb - 1e-9)
 
@@ -137,14 +168,29 @@ class NodeList:
         ])
 
     def find_fit(self, cores: int, gpus: int = 0, mem_gb: float = 0.0,
-                 start: int = 0) -> Optional[NodeState]:
-        """First-fit search starting at index *start* (wraps around)."""
+                 start: int = 0,
+                 avoid: Optional[set] = None) -> Optional[NodeState]:
+        """First-fit search starting at index *start* (wraps around).
+
+        *avoid* is a soft blacklist of node names (failed-node memory of
+        the retry policy): avoided nodes are skipped on the first pass and
+        reconsidered only when nothing else fits.
+        """
         n = len(self.nodes)
+        deferred: Optional[NodeState] = None
         for off in range(n):
             node = self.nodes[(start + off) % n]
             if node.fits(cores, gpus, mem_gb):
+                if avoid and node.name in avoid:
+                    deferred = deferred or node
+                    continue
                 return node
-        return None
+        return deferred
+
+    @property
+    def up_count(self) -> int:
+        """Nodes currently accepting placements."""
+        return sum(1 for n in self.nodes if n.is_up)
 
     @property
     def total_free_cores(self) -> int:

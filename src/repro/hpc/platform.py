@@ -78,6 +78,12 @@ class PlatformSpec:
     #: aggregate shared-filesystem bandwidth (GB/s); concurrent model loads
     #: share this pool once they exceed per-client capacity
     fs_aggregate_gbps: float = 100.0
+    #: per-node mean time between failures (seconds; 0 = faults never
+    #: injected unless a FaultModel overrides).  Leadership-class machines
+    #: publish node MTBFs in the weeks; experiments compress the scale.
+    node_mtbf_s: float = 0.0
+    #: per-node mean time to repair after a crash (seconds)
+    node_mttr_s: float = 300.0
     description: str = ""
 
     def __post_init__(self) -> None:

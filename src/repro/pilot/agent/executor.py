@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from ...hpc.launcher import LaunchMethod, get_launcher
 from ...hpc.node import Slot
+from ...resilience.failures import classify_failure
 from ...sim.engine import RealtimeEngine
 from ...sim.events import Interrupt
 from ...utils.log import get_logger
@@ -127,6 +128,10 @@ class AgentExecutor:
         except Exception as exc:
             task.exception = exc
             task.exit_code = 1
+            task.record_failure(classify_failure(
+                exc, at=engine.now, attempt=task.attempts, phase="agent",
+                component=self.pilot_uid,
+                wasted_core_s=(engine.now - started) * task.n_cores))
             profiler.record(engine.now, task.uid, "exec_fail", self.pilot_uid)
             raise
         finally:

@@ -108,6 +108,15 @@ class AgentScheduler:
                 return True
         return False
 
+    def kick(self) -> None:
+        """Re-run placement (e.g. after a crashed node was repaired)."""
+        self._try_schedule()
+
+    def held_on_node(self, node_index: int) -> List[str]:
+        """Uids of tasks holding at least one slot on the given node."""
+        return [uid for uid, slots in self._held.items()
+                if any(s.node_index == node_index for s in slots)]
+
     @property
     def queue_length(self) -> int:
         return len(self._pending)
@@ -129,9 +138,12 @@ class AgentScheduler:
             if group else None
         preferred: Optional[int] = self._affinity_node.get(affinity) \
             if affinity is not None else None
+        avoid = getattr(task, "avoid_nodes", None)
         for _rank in range(d.ranks):
             node: Optional[NodeState]
             if pinned is not None:
+                # colocation is a *hard* constraint: the pin wins even over
+                # the retry policy's failed-node memory
                 node = self.nodes[pinned]
                 if not node.fits(d.cores_per_rank, d.gpus_per_rank,
                                  d.mem_per_rank_gb):
@@ -141,12 +153,13 @@ class AgentScheduler:
                 if preferred is not None:  # soft: fall through on no fit
                     candidate = self.nodes[preferred]
                     if candidate.fits(d.cores_per_rank, d.gpus_per_rank,
-                                      d.mem_per_rank_gb):
+                                      d.mem_per_rank_gb) \
+                            and not (avoid and candidate.name in avoid):
                         node = candidate
                 if node is None:
                     node = self.nodes.find_fit(
                         d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
-                        start=self._rr_index)
+                        start=self._rr_index, avoid=avoid)
             if node is None:
                 for slot in slots:  # rollback partial placement
                     self.nodes[slot.node_index].release(slot)

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Iterable, List, Union
 
 from ..hpc.batch import JobState
 from ..hpc.node import NodeList
+from ..resilience.failures import PilotLost
 from ..sim.events import AnyOf, Event
 from ..utils.log import get_logger
 from .agent import Agent
@@ -42,6 +43,9 @@ class PilotManager:
         self.uid = session.ids.generate("pmgr")
         self._pilots: dict[str, Pilot] = {}
         self._rng = session.rng(f"pmgr.{self.uid}")
+        self._resilience = session.resilience
+        if self._resilience is not None:
+            self._resilience.register_pilot_manager(self)
 
     # -- submission -----------------------------------------------------------
     def submit_pilots(
@@ -91,20 +95,25 @@ class PilotManager:
         pilot.became_active.succeed(pilot)
         log.info("%s active (%d nodes) at t=%.2f", pilot.uid, n_nodes,
                  self.session.engine.now)
+        if self._resilience is not None:
+            # Heartbeats + lease watchdog + armed fault processes: from
+            # here on the pilot's liveness is *observed*, not assumed.
+            self._resilience.pilot_activated(self, pilot)
 
         final = yield job.finished
         if pilot.state == PilotState.PMGR_ACTIVE:
             state = (PilotState.DONE if final == JobState.COMPLETED
                      else PilotState.CANCELED if final == JobState.CANCELLED
-                     else PilotState.FAILED)  # walltime timeout
+                     else PilotState.FAILED)  # walltime timeout / preemption
             self._finalise(pilot, state)
 
     def _finalise(self, pilot: Pilot, state: str) -> None:
         pilot.advance(state, self.uid)
         if not pilot.became_active.triggered:
-            pilot.became_active.fail(
-                RuntimeError(f"{pilot.uid} went {state} before activation"))
+            pilot.became_active.fail(PilotLost(pilot.uid, state))
             pilot.became_active.defuse()
+        if self._resilience is not None:
+            self._resilience.pilot_finalized(pilot, state)
         pilot.finished.succeed(state)
 
     # -- control --------------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..data import DataConfig, DataServices
+    from ..resilience import ResilienceConfig, ResilienceServices
 
 from ..comm.bus import MessageBus
 from ..hpc.batch import BatchSystem
@@ -47,7 +48,8 @@ class Session:
                  realtime_factor: float = 1.0,
                  platforms: Optional[List[Union[str, PlatformSpec]]] = None,
                  uid: Optional[str] = None,
-                 data_config: Optional["DataConfig"] = None) -> None:
+                 data_config: Optional["DataConfig"] = None,
+                 resilience_config: Optional["ResilienceConfig"] = None) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -65,6 +67,8 @@ class Session:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._data_config = data_config
         self._data: Optional["DataServices"] = None
+        self._resilience_config = resilience_config
+        self._resilience: Optional["ResilienceServices"] = None
 
         specs: List[PlatformSpec] = []
         for entry in (platforms if platforms is not None
@@ -113,6 +117,19 @@ class Session:
             from ..data import DataServices
             self._data = DataServices(self, self._data_config)
         return self._data
+
+    @property
+    def resilience(self) -> Optional["ResilienceServices"]:
+        """The resilience subsystem, or None when no config was given.
+
+        Managers check for None and keep the seed's fail-fast semantics
+        (no heartbeats, no retries) when resilience is off.
+        """
+        if self._resilience is None and self._resilience_config is not None:
+            from ..resilience import ResilienceServices
+            self._resilience = ResilienceServices(self,
+                                                  self._resilience_config)
+        return self._resilience
 
     @property
     def now(self) -> float:

@@ -21,7 +21,14 @@ class StateError(Exception):
 
 
 class TaskState:
-    """Task lifecycle (condensed from RADICAL-Pilot's state model)."""
+    """Task lifecycle (condensed from RADICAL-Pilot's state model).
+
+    The resilience subsystem adds one edge to the classic model: a FAILED
+    task whose recovery policy grants a retry moves through RESCHEDULING
+    back into TMGR_SCHEDULING (late re-binding to a healthy pilot).  DONE
+    and CANCELED remain absorbing; FAILED is final *unless* a recovery
+    policy explicitly resurrects the task.
+    """
 
     NEW = "NEW"
     TMGR_SCHEDULING = "TMGR_SCHEDULING"      # bound to a pilot
@@ -29,6 +36,7 @@ class TaskState:
     AGENT_SCHEDULING = "AGENT_SCHEDULING"    # waiting for slots
     AGENT_EXECUTING = "AGENT_EXECUTING"
     TMGR_STAGING_OUTPUT = "TMGR_STAGING_OUTPUT"
+    RESCHEDULING = "RESCHEDULING"            # recovery granted a retry
     DONE = "DONE"
     FAILED = "FAILED"
     CANCELED = "CANCELED"
@@ -48,8 +56,9 @@ class TaskState:
         AGENT_SCHEDULING: (AGENT_EXECUTING,),
         AGENT_EXECUTING: (TMGR_STAGING_OUTPUT, DONE),
         TMGR_STAGING_OUTPUT: (DONE,),
+        RESCHEDULING: (TMGR_SCHEDULING,),
         DONE: (),
-        FAILED: (),
+        FAILED: (RESCHEDULING,),
         CANCELED: (),
     }
 
@@ -122,17 +131,19 @@ class StateModel:
         """Raise :class:`StateError` unless ``current -> target`` is legal."""
         if target == current:
             raise StateError(f"no-op transition {current} -> {target}")
+        # Explicitly declared edges always win -- including declared exits
+        # out of final states (FAILED -> RESCHEDULING, the recovery edge).
+        if target in self.transitions.get(current, ()):
+            return
         if current in self.final:
             raise StateError(
                 f"cannot leave final state {current} (target {target})")
         # Any non-final state may fail or be canceled.
         if target in self.final and target != "DONE" and target != "STOPPED":
             return
-        allowed = self.transitions.get(current, ())
-        if target not in allowed:
-            raise StateError(
-                f"illegal transition {current} -> {target} "
-                f"(allowed: {allowed})")
+        raise StateError(
+            f"illegal transition {current} -> {target} "
+            f"(allowed: {self.transitions.get(current, ())})")
 
     def is_final(self, state: str) -> bool:
         return state in self.final

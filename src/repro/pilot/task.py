@@ -80,6 +80,14 @@ class Task(_StatefulEntity):
         #: TaskManager's data-aware placement; an explicit
         #: ``tags={"affinity": ...}`` on the description takes precedence
         self.affinity_key: Optional[str] = None
+        #: 1-based attempt counter (bumped by recovery-driven restarts)
+        self.attempts: int = 1
+        #: structured reason of the latest failure (resilience subsystem)
+        self.failure = None  # Optional[repro.resilience.failures.FailureReason]
+        #: full per-attempt failure history
+        self.failures: List[Any] = []
+        #: node names the retry policy asks the agent scheduler to avoid
+        self.avoid_nodes: set = set()
 
     @property
     def is_final(self) -> bool:
@@ -99,6 +107,36 @@ class Task(_StatefulEntity):
             return
         self.advance(state, component)
         self.completed.succeed(state)
+
+    def seal(self) -> None:
+        """Trigger completion for a task already sitting in a final state.
+
+        The retry path advances to FAILED *without* completing (a pending
+        recovery decision may resurrect the task); once recovery gives up,
+        sealing delivers the completion event waiters block on.
+        """
+        if not self.completed.triggered:
+            self.completed.succeed(self.state)
+
+    def record_failure(self, reason) -> None:
+        """Attach a structured :class:`FailureReason` for the live attempt."""
+        self.failure = reason
+        self.failures.append(reason)
+
+    def prepare_restart(self) -> None:
+        """Reset per-attempt state for a recovery-granted re-execution.
+
+        Called in RESCHEDULING: binding, slots and results of the killed
+        attempt are cleared (failure history is kept) so the next attempt
+        re-binds and re-stages from scratch.
+        """
+        self.attempts += 1
+        self.pilot_uid = None
+        self.slots = []
+        self.result = None
+        self.exception = None
+        self.exit_code = None
+        self.runtime_s = None
 
     def __repr__(self) -> str:
         return f"<Task {self.uid} {self.state}>"

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Unio
 
 from ..data import PLACEMENTS
 from ..data.objects import object_id
+from ..resilience.failures import PilotLost, classify_failure
 from ..sim.events import Event, Interrupt, Process
 from ..utils.log import get_logger
 from .data_manager import DataManager
@@ -62,24 +63,51 @@ class TaskManager:
         #: live (non-final) tasks bound per pilot uid, kept O(1) so
         #: placement never rescans the task table
         self._live_bound: Dict[str, int] = {}
+        #: rotated event; succeeds whenever pilots are attached, so retry
+        #: plans waiting for capacity wake up on resubmissions
+        self.pilots_changed: Event = session.engine.event()
+        self._resilience = session.resilience
+        if self._resilience is not None:
+            self._resilience.register_task_manager(self)
 
     # -- pilot binding -----------------------------------------------------------
     def add_pilots(self, pilots: Union[Pilot, Iterable[Pilot]]) -> None:
         """Attach pilots; tasks are distributed round-robin among them."""
         if isinstance(pilots, Pilot):
             pilots = [pilots]
+        added = False
         for pilot in pilots:
             if pilot in self._pilots:
                 continue
             self._pilots.append(pilot)
             self.session.engine.process(self._watch_pilot(pilot))
+            added = True
+        if added:
+            fired, self.pilots_changed = (self.pilots_changed,
+                                          self.session.engine.event())
+            fired.succeed(None)
 
     def _watch_pilot(self, pilot: Pilot):
-        """Cancel a dead pilot's still-running tasks."""
+        """React to a pilot's end: cancel or fail its still-running tasks.
+
+        An orderly end (DONE, user cancellation) cancels resident tasks as
+        before.  A *failed* pilot under resilience delivers
+        :class:`PilotLost` instead: the tasks physically died with their
+        pilot, and their drivers hand the failure to the recovery engine
+        -- which acts only once the heartbeat lease declares the pilot
+        dead, never on this (oracle) event.
+        """
         state = yield pilot.finished
         victims = [t for t in self._tasks.values()
                    if t.pilot_uid == pilot.uid and not t.is_final]
-        if victims:
+        if not victims:
+            return
+        if self._resilience is not None and state == PilotState.FAILED:
+            log.warning("%s went %s; %d tasks lost, handing to recovery",
+                        pilot.uid, state, len(victims))
+            for task in victims:
+                self.fail_task(task, PilotLost(pilot.uid, state))
+        else:
             log.warning("%s went %s; cancelling %d tasks", pilot.uid, state,
                         len(victims))
             self.cancel_tasks(victims)
@@ -98,6 +126,13 @@ class TaskManager:
                       if p.state not in PilotState.FINAL]
         if not candidates:
             raise RuntimeError("all attached pilots are final")
+        if self._resilience is not None:
+            # Late re-binding prefers pilots with a clean record; if every
+            # candidate is blacklisted, use them anyway (degrade, not fail).
+            blacklist = self._resilience.recovery.blacklisted_pilots
+            healthy = [p for p in candidates if p.uid not in blacklist]
+            if healthy:
+                candidates = healthy
         if self.placement == "data_affinity":
             self._tag_node_affinity(task)
             if len(candidates) > 1:
@@ -179,19 +214,56 @@ class TaskManager:
         return tasks
 
     def _drive(self, task: Task):
-        """Driver process: full task lifecycle with failure capture."""
-        try:
-            yield from self._drive_bound(task)
-        finally:
-            if task.pilot_uid is not None:
-                self._live_bound[task.pilot_uid] -= 1
+        """Driver process: attempt loop with policy-driven retries.
 
-    def _drive_bound(self, task: Task):
+        Each attempt runs the full pipeline.  On failure the task advances
+        to FAILED (observers see it) *without* completing; the recovery
+        engine may then grant a retry -- its plan gates on failure
+        detection (heartbeat leases), backs off and waits for pilot
+        capacity -- after which the task moves through RESCHEDULING back
+        into TMGR_SCHEDULING.  Exhausted or ungranted failures seal the
+        task, delivering the completion event.  Without resilience
+        configured every failure is terminal, exactly as before.
+        """
+        while True:
+            reason = yield from self._attempt(task)
+            if reason is None:
+                return  # reached DONE or CANCELED
+            task.advance(TaskState.FAILED, self.uid)
+            plan = None
+            if self._resilience is not None:
+                plan = self._resilience.recovery.task_failed(
+                    self, task, reason)
+            if plan is None:
+                task.seal()
+                return
+            try:
+                retry = yield from plan
+            except Interrupt:  # cancelled while waiting for recovery
+                task.seal()
+                return
+            if not retry:
+                task.seal()
+                return
+            task.advance(TaskState.RESCHEDULING, self.uid)
+            task.prepare_restart()
+            log.info("%s rescheduled (attempt %d)", task.uid, task.attempts)
+
+    def _attempt(self, task: Task):
+        """One full execution attempt.
+
+        Returns None once the task reached DONE or CANCELED, or the
+        :class:`FailureReason` of the failed attempt (the task is left in
+        its last live state; the caller advances it to FAILED).
+        """
         d = task.description
+        phase = "binding"
+        bound: Optional[str] = None
         try:
             task.advance(TaskState.TMGR_SCHEDULING, self.uid)
             pilot = self._select_pilot(task)
             task.pilot_uid = pilot.uid
+            bound = pilot.uid
             self._live_bound[pilot.uid] = \
                 self._live_bound.get(pilot.uid, 0) + 1
             if not pilot.is_active:
@@ -199,29 +271,52 @@ class TaskManager:
             platform_name = pilot.platform.name
 
             if d.input_staging:
+                phase = "stage_in"
                 task.advance(TaskState.TMGR_STAGING_INPUT, self.uid)
                 yield from self.data_manager.stage(
                     d.input_staging, platform_name, task.uid, "stage_in")
 
+            phase = "agent"
             result = yield from pilot.agent.run_task(task)
 
             if d.output_staging:
                 # run_task released the task's slots already: stage-out
                 # overlaps with successor tasks' scheduling and execution
                 # instead of holding compute hostage to the fabric.
+                phase = "stage_out"
                 task.advance(TaskState.TMGR_STAGING_OUTPUT, self.uid)
                 yield from self.data_manager.stage(
                     d.output_staging, platform_name, task.uid, "stage_out")
 
             task.result = result if result is not None else task.result
             task.finish(TaskState.DONE, self.uid)
-        except Interrupt:
+            return None
+        except Interrupt as intr:
+            cause = intr.cause
+            if isinstance(cause, BaseException):
+                # An infrastructure fault delivered via interrupt (node
+                # crash, pilot loss): a failure, not a user cancellation.
+                return self._attempt_failed(task, cause, phase)
             task.finish(TaskState.CANCELED, self.uid)
+            return None
         except Exception as exc:  # captured on the task, not raised
-            if task.exception is None:
-                task.exception = exc
-            log.info("%s failed: %s", task.uid, exc)
-            task.finish(TaskState.FAILED, self.uid)
+            return self._attempt_failed(task, exc, phase)
+        finally:
+            if bound is not None:
+                self._live_bound[bound] -= 1
+
+    def _attempt_failed(self, task: Task, exc: BaseException, phase: str):
+        """Record a structured failure reason for the live attempt."""
+        if task.exception is None:
+            task.exception = exc
+        if task.failure is None or task.failure.attempt != task.attempts:
+            task.record_failure(classify_failure(
+                exc, at=self.session.engine.now, attempt=task.attempts,
+                phase=phase, component=self.uid,
+                wasted_core_s=(task.runtime_s or 0.0) * task.n_cores))
+        log.info("%s failed (attempt %d, %s): %s", task.uid, task.attempts,
+                 task.failure.origin, exc)
+        return task.failure
 
     # -- waiting / control ----------------------------------------------------------
     def wait_tasks(self, tasks: Optional[Iterable[Task]] = None) -> Event:
@@ -230,17 +325,43 @@ class TaskManager:
         return self.session.engine.all_of([t.completed for t in tasks])
 
     def cancel_tasks(self, tasks: Union[Task, Iterable[Task]]) -> None:
-        """Cancel tasks, wherever they are in the pipeline."""
+        """Cancel tasks, wherever they are in the pipeline.
+
+        A task sitting in FAILED awaiting a recovery decision is *not*
+        final yet (its completion has not fired): cancelling it interrupts
+        the pending retry, sealing the task as FAILED.
+        """
         if isinstance(tasks, Task):
             tasks = [tasks]
         for task in tasks:
-            if task.is_final:
+            if task.completed.triggered:
                 continue
             driver = self._drivers.get(task.uid)
             if driver is not None and driver.is_alive:
                 driver.interrupt("cancelled by user")
+            elif task.is_final:  # failed, recovery pending but driver gone
+                task.seal()
             else:  # not yet started driving (shouldn't happen) -- force
                 task.finish(TaskState.CANCELED, self.uid)
+
+    def fail_task(self, task: Task, exc: BaseException) -> None:
+        """Deliver an infrastructure fault to a task's driver.
+
+        Used by the fault injector (node crashes) and the pilot watcher
+        (pilot losses): the driver observes *exc* as the attempt's failure
+        and consults the recovery engine instead of treating the
+        interruption as a user cancellation.
+        """
+        if task.completed.triggered:
+            return
+        driver = self._drivers.get(task.uid)
+        if driver is not None and driver.is_alive:
+            driver.interrupt(exc)
+        elif not task.is_final:
+            task.record_failure(classify_failure(
+                exc, at=self.session.engine.now, attempt=task.attempts,
+                component=self.uid))
+            task.finish(TaskState.FAILED, self.uid)
 
     def register_callback(self,
                           callback: Callable[[Task, str], None]) -> None:
@@ -256,6 +377,10 @@ class TaskManager:
     @property
     def tasks(self) -> List[Task]:
         return list(self._tasks.values())
+
+    @property
+    def pilots(self) -> List[Pilot]:
+        return list(self._pilots)
 
     def counts_by_state(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

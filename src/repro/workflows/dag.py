@@ -114,14 +114,43 @@ class WorkflowRunner:
 
     # -- pipeline execution ----------------------------------------------------------
     def run_pipeline(self, pipeline: Pipeline,
-                     context: Optional[Dict[str, Any]] = None):
-        """Process body: run stages in order; returns the final context."""
+                     context: Optional[Dict[str, Any]] = None,
+                     checkpoint_key: str = "",
+                     checkpoint_bytes: Optional[float] = None):
+        """Process body: run stages in order; returns the final context.
+
+        With *checkpoint_key* and the session's resilience subsystem
+        enabled, every completed stage persists a context snapshot through
+        the :class:`~repro.resilience.recovery.Checkpointer`: re-running
+        the same pipeline under the same key (after a crash, in the same
+        or a successor session sharing the checkpoint store) skips the
+        already-completed stages and replays only lost work.  Snapshots
+        are shallow context copies -- stages that stash live Task handles
+        should keep their collected *values* in the context too if they
+        are meant to survive a cross-session restart.
+        """
         context = context if context is not None else {}
         profiler = self.session.profiler
         engine = self.session.engine
         uid = f"pipeline.{pipeline.name}"
+        checkpoints = None
+        first_stage = 0
+        if checkpoint_key:
+            resilience = self.session.resilience
+            if resilience is not None:
+                checkpoints = resilience.checkpoints
+                saved = checkpoints.latest(f"{checkpoint_key}/stages")
+                if saved is not None:
+                    stage_index, snapshot = saved
+                    first_stage = stage_index + 1
+                    context.update(snapshot)
+                    log.info("%s: restored checkpoint, resuming at stage "
+                             "%d/%d", pipeline.name, first_stage,
+                             len(pipeline.stages))
         profiler.record(engine.now, uid, "pipeline_start", "workflow")
-        for stage in pipeline.stages:
+        for index, stage in enumerate(pipeline.stages):
+            if index < first_stage:
+                continue  # completed before the restart: replay skipped
             stage_uid = f"{uid}.{stage.name}"
             profiler.record(engine.now, stage_uid, "stage_start", "workflow")
             log.info("%s: stage %s starting at t=%.1f", pipeline.name,
@@ -135,5 +164,12 @@ class WorkflowRunner:
                 if stage.collect is not None:
                     stage.collect(context, tasks)
             profiler.record(engine.now, stage_uid, "stage_stop", "workflow")
+            # save on the policy's cadence; the final stage always persists
+            if checkpoints is not None and \
+                    (checkpoints.due(index)
+                     or index == len(pipeline.stages) - 1):
+                yield from checkpoints.save(
+                    f"{checkpoint_key}/stages", index, dict(context),
+                    nbytes=checkpoint_bytes)
         profiler.record(engine.now, uid, "pipeline_stop", "workflow")
         return context

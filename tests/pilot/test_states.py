@@ -42,6 +42,26 @@ class TestTaskModel:
             with pytest.raises(StateError, match="final"):
                 TASK_MODEL.check(final, TaskState.NEW)
 
+    def test_failed_resurrects_only_through_rescheduling(self):
+        # the one declared exit from a final state: the recovery edge
+        TASK_MODEL.check(TaskState.FAILED, TaskState.RESCHEDULING)
+        TASK_MODEL.check(TaskState.RESCHEDULING, TaskState.TMGR_SCHEDULING)
+        for target in (TaskState.NEW, TaskState.AGENT_EXECUTING,
+                       TaskState.DONE):
+            with pytest.raises(StateError):
+                TASK_MODEL.check(TaskState.FAILED, target)
+        # DONE/CANCELED have no recovery edge
+        for final in (TaskState.DONE, TaskState.CANCELED):
+            with pytest.raises(StateError):
+                TASK_MODEL.check(final, TaskState.RESCHEDULING)
+
+    def test_rescheduling_may_fail_or_cancel_but_not_shortcut(self):
+        TASK_MODEL.check(TaskState.RESCHEDULING, TaskState.FAILED)
+        TASK_MODEL.check(TaskState.RESCHEDULING, TaskState.CANCELED)
+        with pytest.raises(StateError):
+            TASK_MODEL.check(TaskState.RESCHEDULING,
+                             TaskState.AGENT_EXECUTING)
+
     def test_done_requires_execution_path(self):
         with pytest.raises(StateError):
             TASK_MODEL.check(TaskState.NEW, TaskState.DONE)
@@ -53,6 +73,25 @@ class TestTaskModel:
     def test_is_final(self):
         assert TASK_MODEL.is_final(TaskState.DONE)
         assert not TASK_MODEL.is_final(TaskState.AGENT_EXECUTING)
+
+
+PILOT_STATES = [PilotState.NEW, PilotState.PMGR_LAUNCHING,
+                PilotState.PMGR_ACTIVE, PilotState.DONE, PilotState.FAILED,
+                PilotState.CANCELED]
+
+#: every legal pilot transition; anything else must raise
+PILOT_LEGAL = {
+    (PilotState.NEW, PilotState.PMGR_LAUNCHING),
+    (PilotState.PMGR_LAUNCHING, PilotState.PMGR_ACTIVE),
+    (PilotState.PMGR_ACTIVE, PilotState.DONE),
+    # any live state may fail or be canceled
+    (PilotState.NEW, PilotState.FAILED),
+    (PilotState.NEW, PilotState.CANCELED),
+    (PilotState.PMGR_LAUNCHING, PilotState.FAILED),
+    (PilotState.PMGR_LAUNCHING, PilotState.CANCELED),
+    (PilotState.PMGR_ACTIVE, PilotState.FAILED),
+    (PilotState.PMGR_ACTIVE, PilotState.CANCELED),
+}
 
 
 class TestPilotModel:
@@ -67,6 +106,22 @@ class TestPilotModel:
     def test_active_cannot_jump_to_new(self):
         with pytest.raises(StateError):
             PILOT_MODEL.check(PilotState.PMGR_ACTIVE, PilotState.NEW)
+
+    @pytest.mark.parametrize("current", PILOT_STATES)
+    @pytest.mark.parametrize("target", PILOT_STATES)
+    def test_exhaustive_transition_enforcement(self, current, target):
+        """Every (current, target) pair: legal iff in the whitelist."""
+        if (current, target) in PILOT_LEGAL:
+            PILOT_MODEL.check(current, target)
+        else:
+            with pytest.raises(StateError):
+                PILOT_MODEL.check(current, target)
+
+    def test_final_pilot_states_absorb(self):
+        for final in PilotState.FINAL:
+            for target in PILOT_STATES:
+                with pytest.raises(StateError):
+                    PILOT_MODEL.check(final, target)
 
 
 class TestServiceModel:
@@ -90,3 +145,38 @@ class TestServiceModel:
     def test_stopped_requires_stopping(self):
         with pytest.raises(StateError):
             SERVICE_MODEL.check(ServiceState.READY, ServiceState.STOPPED)
+
+    SERVICE_STATES = [
+        ServiceState.DEFINED, ServiceState.LAUNCHING,
+        ServiceState.INITIALIZING, ServiceState.PUBLISHING,
+        ServiceState.READY, ServiceState.STOPPING, ServiceState.STOPPED,
+        ServiceState.FAILED]
+
+    #: the bootstrap chain plus universal failure edges
+    SERVICE_LEGAL = {
+        (ServiceState.DEFINED, ServiceState.LAUNCHING),
+        (ServiceState.LAUNCHING, ServiceState.INITIALIZING),
+        (ServiceState.INITIALIZING, ServiceState.PUBLISHING),
+        (ServiceState.PUBLISHING, ServiceState.READY),
+        (ServiceState.READY, ServiceState.STOPPING),
+        (ServiceState.STOPPING, ServiceState.STOPPED),
+    } | {(live, ServiceState.FAILED)
+         for live in (ServiceState.DEFINED, ServiceState.LAUNCHING,
+                      ServiceState.INITIALIZING, ServiceState.PUBLISHING,
+                      ServiceState.READY, ServiceState.STOPPING)}
+
+    @pytest.mark.parametrize("current", SERVICE_STATES)
+    @pytest.mark.parametrize("target", SERVICE_STATES)
+    def test_exhaustive_transition_enforcement(self, current, target):
+        """Every (current, target) pair: legal iff in the whitelist."""
+        if (current, target) in self.SERVICE_LEGAL:
+            SERVICE_MODEL.check(current, target)
+        else:
+            with pytest.raises(StateError):
+                SERVICE_MODEL.check(current, target)
+
+    def test_final_service_states_absorb(self):
+        for final in ServiceState.FINAL:
+            for target in self.SERVICE_STATES:
+                with pytest.raises(StateError):
+                    SERVICE_MODEL.check(final, target)

@@ -1,0 +1,153 @@
+"""Heartbeat-based failure detection: leases, expiry, pilot liveness."""
+
+import pytest
+
+from repro import (
+    PilotDescription,
+    PilotManager,
+    ResilienceConfig,
+    Session,
+    TaskDescription,
+    TaskManager,
+)
+from repro.comm.message import Address
+from repro.pilot.states import PilotState
+from repro.resilience import RetryPolicy, heartbeat_topic
+
+
+def resilient_session(**kwargs):
+    defaults = dict(heartbeat_interval_s=2.0, lease_misses=3, retry=None)
+    defaults.update(kwargs)
+    return Session(seed=3, resilience_config=ResilienceConfig(**defaults))
+
+
+class TestMonitorLeases:
+    def test_lease_stays_live_while_beats_arrive(self):
+        with resilient_session() as session:
+            monitor = session.resilience.monitor
+            lease = monitor.watch("svc.x", interval_s=1.0, misses=3)
+            sender = Address(name="svc.x.hb", platform="localhost")
+
+            def beater():
+                for _ in range(20):
+                    session.bus.publish(heartbeat_topic("svc.x"),
+                                        {"t": session.now}, sender=sender)
+                    yield session.engine.timeout(1.0)
+
+            session.engine.process(beater())
+            session.run(until=15.0)
+            assert not lease.expired
+            assert lease.beats >= 10
+            assert monitor.is_live("svc.x")
+
+    def test_silence_expires_lease_after_misses_times_interval(self):
+        with resilient_session() as session:
+            monitor = session.resilience.monitor
+            lease = monitor.watch("svc.y", interval_s=1.0, misses=3)
+            session.run(until=lease.declared)
+            assert lease.expired
+            assert session.now == pytest.approx(3.0)
+            (record,) = monitor.detections
+            assert record.uid == "svc.y"
+            assert record.silence_s == pytest.approx(3.0)
+            assert not monitor.is_live("svc.y")
+
+    def test_beats_rearm_the_lease(self):
+        with resilient_session() as session:
+            monitor = session.resilience.monitor
+            lease = monitor.watch("svc.z", interval_s=1.0, misses=2)
+            sender = Address(name="svc.z.hb", platform="localhost")
+
+            def beat_then_die():
+                for _ in range(5):
+                    session.bus.publish(heartbeat_topic("svc.z"),
+                                        {}, sender=sender)
+                    yield session.engine.timeout(1.0)
+
+            session.engine.process(beat_then_die())
+            session.run(until=lease.declared)
+            # last beat ~t=4: declaration at ~4 + misses * interval
+            assert session.now == pytest.approx(6.0, abs=0.1)
+
+    def test_deregister_suppresses_declaration(self):
+        with resilient_session() as session:
+            monitor = session.resilience.monitor
+            lease = monitor.watch("svc.bye", interval_s=1.0, misses=2)
+            monitor.deregister("svc.bye")
+            session.run()
+            assert not lease.expired
+            assert monitor.detections == []
+
+    def test_watch_is_idempotent(self):
+        with resilient_session() as session:
+            monitor = session.resilience.monitor
+            first = monitor.watch("svc.a", interval_s=1.0)
+            assert monitor.watch("svc.a", interval_s=9.0) is first
+
+
+class TestPilotLiveness:
+    def test_active_pilot_heartbeats_keep_lease_alive(self):
+        with resilient_session() as session:
+            pmgr = PilotManager(session)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=1, runtime_s=500.0))
+            session.run(until=100.0)
+            assert pilot.is_active
+            assert session.resilience.monitor.is_live(pilot.uid)
+            assert session.resilience.monitor.detections == []
+
+    def test_walltime_kill_is_detected_via_lease_expiry(self):
+        with resilient_session() as session:
+            pmgr = PilotManager(session)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=1, runtime_s=60.0))
+            lease_event = None
+            session.run(until=30.0)
+            lease_event = session.resilience.monitor.declared(pilot.uid)
+            session.run(until=lease_event)
+            assert pilot.state == PilotState.FAILED
+            (record,) = session.resilience.monitor.detections
+            # silence spans at most interval + misses * interval
+            cfg = session.resilience.config
+            assert record.silence_s <= \
+                (cfg.lease_misses + 1) * cfg.heartbeat_interval_s + 1e-6
+            assert record.declared_at > 60.0  # observed *after* the death
+
+    def test_orderly_pilot_completion_never_declares(self):
+        with resilient_session() as session:
+            pmgr = PilotManager(session)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=1, runtime_s=1e6))
+            session.run(until=20.0)
+            pmgr.complete_pilot(pilot)
+            session.run()
+            assert pilot.state == PilotState.DONE
+            assert session.resilience.monitor.detections == []
+
+    def test_recovery_acts_only_after_declaration(self):
+        """The retry of a pilot-lost task resumes at/after lease expiry."""
+        from repro.resilience import PilotResubmitPolicy
+
+        with resilient_session(
+                retry=RetryPolicy(max_retries=1, backoff_base_s=0.5),
+                pilot_resubmit=PilotResubmitPolicy(max_resubmits=1),
+        ) as session:
+            pmgr = PilotManager(session)
+            tmgr = TaskManager(session)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=1, runtime_s=1e6))
+            tmgr.add_pilots(pilot)
+            (task,) = tmgr.submit_tasks(
+                TaskDescription(executable="x", duration_s=500.0))
+            session.run(until=30.0)
+            # system-side kill: the client only learns via silence
+            session.batch_system("delta").fail(pilot.batch_job)
+            session.run(until=tmgr.wait_tasks([task]))
+            assert task.state == "DONE"
+            assert task.attempts == 2
+            (detection,) = [d for d in session.resilience.monitor.detections
+                            if d.uid == pilot.uid]
+            (recovery,) = session.resilience.recovery.records
+            assert recovery.resumed_at >= detection.declared_at
+            # and the replacement pilot came through the batch queue
+            assert len(session.resilience.recovery.resubmissions) == 1

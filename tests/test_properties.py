@@ -231,22 +231,96 @@ def test_staging_conserves_bytes(n_tasks, n_objects, seed):
 
 
 # ---------------------------------------------------------------------------
+# Resilience: forced failures leak no resources
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_forced_failures_leak_no_resources(data):
+    """Faults and cancellations at random lifecycle stages leak nothing.
+
+    Tasks with real staging and compute are disrupted at arbitrary times
+    (hitting binding, stage-in, queueing, execution and stage-out), with
+    and without the retry policy.  Once every task completes, all cores,
+    GPUs, scheduler holds, queue entries, link flows and in-flight staging
+    registrations must be back to zero -- across crash-kills, cancels and
+    recovery-driven re-execution alike.
+    """
+    from repro.pilot import PilotDescription, PilotManager, TaskManager
+    from repro.resilience import NodeFailure, ResilienceConfig, RetryPolicy
+
+    with_retry = data.draw(st.booleans())
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_retries=1, backoff_base_s=0.5,
+                          backoff_jitter_s=0.0)) if with_retry else None
+    seed = data.draw(st.integers(min_value=0, max_value=50))
+    with Session(seed=seed, resilience_config=config) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+        tmgr.add_pilots(pilot)
+        n_tasks = data.draw(st.integers(min_value=2, max_value=5))
+        tasks = tmgr.submit_tasks([
+            TaskDescription(
+                executable="x", duration_s=20.0, cores_per_rank=8,
+                gpus_per_rank=1,
+                input_staging=[{"source": f"obj-{i % 2}",
+                                "size_bytes": 5e9}],
+                output_staging=[{"source": f"out-{i}", "size_bytes": 1e9}])
+            for i in range(n_tasks)])
+        for task in tasks:
+            kind = data.draw(st.sampled_from(
+                ["none", "cancel", "node_fault"]))
+            if kind == "none":
+                continue
+            at = data.draw(st.floats(min_value=0.0, max_value=40.0))
+
+            def disrupt(task=task, kind=kind, at=at):
+                yield session.engine.timeout(at)
+                if kind == "cancel":
+                    tmgr.cancel_tasks(task)
+                else:
+                    tmgr.fail_task(
+                        task, NodeFailure("prop-node", pilot.uid))
+
+            session.engine.process(disrupt())
+        session.run(until=tmgr.wait_tasks(tasks))
+        session.run(until=session.now + 60.0)  # let stragglers fire
+
+        assert all(t.completed.triggered for t in tasks)
+        nodes = pilot.nodes
+        assert nodes.total_free_cores == 2 * 64
+        assert nodes.total_free_gpus == 2 * 4
+        scheduler = pilot.agent.scheduler
+        assert scheduler.held_tasks == []
+        assert scheduler.queue_length == 0
+        assert sum(tmgr._live_bound.values()) == 0
+        for link in session.data.transfers.links().values():
+            assert link.active_flows == 0
+        assert session.data.inflight == {}
+
+
+# ---------------------------------------------------------------------------
 # State machines
 # ---------------------------------------------------------------------------
 
 ALL_TASK_STATES = [
     TaskState.NEW, TaskState.TMGR_SCHEDULING, TaskState.TMGR_STAGING_INPUT,
     TaskState.AGENT_SCHEDULING, TaskState.AGENT_EXECUTING,
-    TaskState.TMGR_STAGING_OUTPUT, TaskState.DONE, TaskState.FAILED,
-    TaskState.CANCELED]
+    TaskState.TMGR_STAGING_OUTPUT, TaskState.RESCHEDULING, TaskState.DONE,
+    TaskState.FAILED, TaskState.CANCELED]
 
 
 @given(start=st.sampled_from(ALL_TASK_STATES),
        target=st.sampled_from(ALL_TASK_STATES))
 def test_task_model_final_states_absorb(start, target):
     if start in TaskState.FINAL:
-        with pytest.raises(StateError):
-            TASK_MODEL.check(start, target)
+        if (start, target) == (TaskState.FAILED, TaskState.RESCHEDULING):
+            TASK_MODEL.check(start, target)  # the declared recovery edge
+        else:
+            with pytest.raises(StateError):
+                TASK_MODEL.check(start, target)
     elif target in (TaskState.FAILED, TaskState.CANCELED):
         TASK_MODEL.check(start, target)  # always legal from live states
 
