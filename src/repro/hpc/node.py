@@ -5,14 +5,23 @@ of an allocation.  The agent scheduler (:mod:`repro.pilot.agent.scheduler`)
 carves :class:`Slot` objects out of nodes and returns them on task
 completion.  Invariant maintained throughout: a core/GPU index is held by at
 most one live slot (verified by property-based tests).
+
+Placement queries go through a **free-capacity index**: a segment tree over
+the node array whose cells hold the per-subtree maxima of free cores, free
+GPUs and free memory among *up* nodes.  ``find_fit`` descends the tree to
+the leftmost fitting node instead of scanning every node, turning the
+scheduler's placement hot path from O(nodes) into O(log nodes) while
+preserving the exact first-fit scan order (including wrap-around starts and
+the soft ``avoid`` deferral).  Node mutations (allocate / release / health
+flips) push point updates into the tree through a change hook.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
-__all__ = ["Slot", "NodeState", "NodeList"]
+__all__ = ["Slot", "NodeState", "NodeList", "FreeCapacityIndex"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,14 @@ class NodeState:
         self._free_cores: List[int] = list(range(cores))
         self._free_gpus: List[int] = list(range(gpus))
         self._free_mem = float(mem_gb)
+        #: change hooks ``(node, kind)`` with kind in alloc | release |
+        #: down | degraded | up -- registered by owning NodeLists (index
+        #: maintenance) and schedulers (capacity-increase wakeups)
+        self._listeners: List[Callable[["NodeState", str], None]] = []
+
+    def _changed(self, kind: str) -> None:
+        for listener in self._listeners:
+            listener(self, kind)
 
     # -- health ----------------------------------------------------------------
     @property
@@ -74,14 +91,17 @@ class NodeState:
     def mark_down(self) -> None:
         """Crash the node: placements are rejected until :meth:`mark_up`."""
         self.health = NodeState.DOWN
+        self._changed("down")
 
     def mark_degraded(self) -> None:
         """Drain the node: running slots survive, new placements skip it."""
         self.health = NodeState.DEGRADED
+        self._changed("degraded")
 
     def mark_up(self) -> None:
         """Repair the node (end of MTTR window)."""
         self.health = NodeState.UP
+        self._changed("up")
 
     # -- capacity queries ------------------------------------------------------
     @property
@@ -119,6 +139,7 @@ class NodeState:
         gpu_ids = tuple(self._free_gpus[:gpus])
         del self._free_gpus[:gpus]
         self._free_mem -= mem_gb
+        self._changed("alloc")
         return Slot(self.index, self.name, core_ids, gpu_ids, mem_gb)
 
     def release(self, slot: Slot) -> None:
@@ -137,17 +158,134 @@ class NodeState:
         self._free_gpus.extend(slot.gpus)
         self._free_gpus.sort()
         self._free_mem = min(self.mem_gb, self._free_mem + slot.mem_gb)
+        self._changed("release")
 
     def __repr__(self) -> str:
         return (f"<NodeState {self.name} free={self.free_cores}c/"
                 f"{self.free_gpus}g/{self._free_mem:.0f}GB>")
 
 
+class FreeCapacityIndex:
+    """Segment tree over a node array answering first-fit queries fast.
+
+    Each tree cell holds the maxima of (free cores, free GPUs, free memory)
+    among *up* nodes in its span; down/degraded nodes contribute ``-1`` so
+    they can never satisfy a query.  :meth:`first_fit` returns the leftmost
+    index in ``[lo, hi)`` whose node currently fits a request -- identical
+    to a linear ``NodeState.fits`` scan, in O(log n) typical time.
+
+    The conjunction of three per-component maxima can report a subtree as
+    promising when no single node in it satisfies all three bounds at once;
+    the descent then visits and rejects that subtree's children.  With the
+    homogeneous node pools of real allocations this is rare, and the worst
+    case degenerates to the old linear scan, never worse.
+    """
+
+    _MEM_EPS = 1e-9  # mirrors NodeState.fits' float-resolution slack
+
+    def __init__(self, nodes: List[NodeState]) -> None:
+        self._nodes = nodes
+        n = len(nodes)
+        size = 1
+        while size < max(n, 1):
+            size *= 2
+        self._size = size
+        self._mc = [-1] * (2 * size)      # max free cores per cell
+        self._mg = [-1] * (2 * size)      # max free GPUs per cell
+        self._mm = [-1.0] * (2 * size)    # max free mem (GB) per cell
+        for i, node in enumerate(nodes):
+            self._write_leaf(i, node)
+        for cell in range(size - 1, 0, -1):
+            self._pull(cell)
+
+    def _write_leaf(self, i: int, node: NodeState) -> None:
+        cell = self._size + i
+        if node.health == NodeState.UP:
+            self._mc[cell] = len(node._free_cores)
+            self._mg[cell] = len(node._free_gpus)
+            self._mm[cell] = node._free_mem
+        else:
+            self._mc[cell] = -1
+            self._mg[cell] = -1
+            self._mm[cell] = -1.0
+
+    def _pull(self, cell: int) -> None:
+        left, right = 2 * cell, 2 * cell + 1
+        self._mc[cell] = self._mc[left] if self._mc[left] >= self._mc[right] \
+            else self._mc[right]
+        self._mg[cell] = self._mg[left] if self._mg[left] >= self._mg[right] \
+            else self._mg[right]
+        self._mm[cell] = self._mm[left] if self._mm[left] >= self._mm[right] \
+            else self._mm[right]
+
+    def update(self, node: NodeState, _kind: str = "") -> None:
+        """Point-update one node's leaf and its ancestors (O(log n))."""
+        self._write_leaf(node.index, node)
+        cell = (self._size + node.index) // 2
+        while cell >= 1:
+            self._pull(cell)
+            cell //= 2
+
+    def _qualifies(self, cell: int, cores: int, gpus: int,
+                   mem_gb: float) -> bool:
+        return (self._mc[cell] >= cores and self._mg[cell] >= gpus
+                and self._mm[cell] >= mem_gb - self._MEM_EPS)
+
+    def first_fit(self, cores: int, gpus: int = 0, mem_gb: float = 0.0,
+                  lo: int = 0, hi: Optional[int] = None) -> int:
+        """Leftmost node index in ``[lo, hi)`` that fits, or ``-1``."""
+        n = len(self._nodes)
+        hi = n if hi is None else hi
+        if lo >= hi or not self._qualifies(1, cores, gpus, mem_gb):
+            return -1
+        # Descend depth-first, leftmost child first; prune subtrees whose
+        # span misses [lo, hi) or whose maxima cannot satisfy the request.
+        stack = [(1, 0, self._size)]
+        while stack:
+            cell, span_lo, span_hi = stack.pop()
+            if span_hi <= lo or span_lo >= hi:
+                continue
+            if not self._qualifies(cell, cores, gpus, mem_gb):
+                continue
+            if cell >= self._size:  # leaf
+                i = cell - self._size
+                if i < n and self._nodes[i].fits(cores, gpus, mem_gb):
+                    return i
+                continue
+            mid = (span_lo + span_hi) // 2
+            stack.append((2 * cell + 1, mid, span_hi))  # right: popped last
+            stack.append((2 * cell, span_lo, mid))      # left: popped first
+        return -1
+
+
 class NodeList:
-    """An ordered collection of :class:`NodeState` with search helpers."""
+    """An ordered collection of :class:`NodeState` with search helpers.
+
+    Wrapping nodes in a NodeList attaches a :class:`FreeCapacityIndex` so
+    placement queries stop scanning the full array; the list is fixed-size
+    after construction.
+    """
 
     def __init__(self, nodes: List[NodeState]) -> None:
         self.nodes = list(nodes)
+        # The runtime indexes nodes by Slot.node_index everywhere
+        # (scheduler release, colocation pins, the capacity index's leaf
+        # addressing), so node.index must equal list position; fail loudly
+        # on subset/reordered lists instead of corrupting silently.
+        for pos, node in enumerate(self.nodes):
+            if node.index != pos:
+                raise ValueError(
+                    f"node {node.name} has index {node.index} at list "
+                    f"position {pos}; NodeList requires dense, in-order "
+                    f"node indices")
+        self._index = FreeCapacityIndex(self.nodes)
+        for node in self.nodes:
+            node._listeners.append(self._index.update)
+        #: distinct static (cores, gpus, mem) profiles for O(1) feasibility
+        self._profiles = sorted({(n.num_cores, n.num_gpus, n.mem_gb)
+                                 for n in self.nodes}, reverse=True)
+        self._total_cores = sum(n.num_cores for n in self.nodes)
+        self._total_gpus = sum(n.num_gpus for n in self.nodes)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -175,17 +313,49 @@ class NodeList:
         *avoid* is a soft blacklist of node names (failed-node memory of
         the retry policy): avoided nodes are skipped on the first pass and
         reconsidered only when nothing else fits.
+
+        Served by the free-capacity index: instead of probing every node in
+        scan order, the segment tree jumps to the next fitting index, so a
+        fully-packed 2048-node allocation answers "nothing fits" in O(1)
+        from the root maxima.  The returned node is always identical to
+        what the seed's linear scan would have picked.
         """
-        n = len(self.nodes)
+        index = self._index
         deferred: Optional[NodeState] = None
-        for off in range(n):
-            node = self.nodes[(start + off) % n]
-            if node.fits(cores, gpus, mem_gb):
+        n = len(self.nodes)
+        for lo, hi in ((start, n), (0, start)):
+            pos = lo
+            while True:
+                i = index.first_fit(cores, gpus, mem_gb, pos, hi)
+                if i < 0:
+                    break
+                node = self.nodes[i]
                 if avoid and node.name in avoid:
                     deferred = deferred or node
+                    pos = i + 1
                     continue
                 return node
         return deferred
+
+    def can_ever_fit(self, cores: int, gpus: int = 0,
+                     mem_gb: float = 0.0) -> bool:
+        """Could any node host this rank when completely empty?
+
+        Static-capacity check over the distinct node profiles (O(1) for
+        homogeneous pools), independent of current health or load.
+        """
+        return any(pc >= cores and pg >= gpus and pm >= mem_gb - 1e-9
+                   for pc, pg, pm in self._profiles)
+
+    @property
+    def total_cores(self) -> int:
+        """Static core capacity across all nodes."""
+        return self._total_cores
+
+    @property
+    def total_gpus(self) -> int:
+        """Static GPU capacity across all nodes."""
+        return self._total_gpus
 
     @property
     def up_count(self) -> int:

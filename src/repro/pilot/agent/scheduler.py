@@ -18,12 +18,41 @@ priority relations between services and tasks"):
 
 Invariant (property-tested, with and without affinity tags): no core/GPU
 index is ever double-booked.
+
+**Hot-path design** (the control plane's throughput cap on leadership-class
+scales -- see ``benchmarks/test_ablation_sched_throughput.py``):
+
+* the pending queue is a set of per-*shape* binary heaps keyed on
+  ``(-priority, seq)``, where a shape is everything feasibility-relevant
+  about a request -- ``(cores, gpus, mem, ranks, colocate-group)``.  Soft
+  hints (affinity, avoid) steer node *choice*, never placeability, so all
+  members of a shape become placeable and unplaceable together;
+* rescans are **event-driven**: an ``_infeasible`` shape memo records which
+  shapes failed placement since capacity last *grew* (release, node repair,
+  explicit kick).  Submitting into a memoised shape is an O(log n) enqueue
+  with no placement attempt; a capacity increase clears the memo and runs
+  one pass that attempts each shape at most once past its last grant.  A
+  single kick therefore grants every currently-feasible request without
+  re-walking entries already rejected at the same capacity (the seed
+  restarted a full scan of the queue after every grant);
+* ``withdraw`` is O(1) via a uid->entry index with lazy heap deletion, and
+  ``held_on_node`` reads a per-node held-task index instead of scanning
+  every held slot;
+* node search inside :meth:`_place` goes through the
+  :class:`~repro.hpc.node.FreeCapacityIndex` (``NodeList.find_fit``),
+  O(log nodes) instead of O(nodes).
+
+The semantics are pinned to the seed implementation
+(:class:`~repro.pilot.agent.reference.ReferenceScheduler`) by a
+property test replaying random traffic through both and comparing grant
+order and slot assignments.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ...hpc.node import NodeList, NodeState, Slot
 from ...sim.events import Event
@@ -33,13 +62,38 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..session import Session
     from ..task import Task
 
-__all__ = ["AgentScheduler", "SchedulerError"]
+__all__ = ["AgentScheduler", "SchedulerError", "SchedulerStats"]
 
 log = get_logger("pilot.agent.scheduler")
+
+#: feasibility class of a request: per-rank resources, rank count and hard
+#: colocation group (None for ungrouped requests)
+ShapeKey = Tuple[int, int, float, int, Optional[str]]
+
+#: pending-queue entry: [(-priority), seq, task, event, alive]
+_ALIVE = 4
 
 
 class SchedulerError(Exception):
     """Raised for requests that can never be satisfied."""
+
+
+class SchedulerStats:
+    """Hot-path counters (cheap enough to keep always-on)."""
+
+    __slots__ = ("place_attempts", "grants", "passes", "memo_hits")
+
+    def __init__(self) -> None:
+        self.place_attempts = 0  # _place invocations (success or failure)
+        self.grants = 0          # successful placements
+        self.passes = 0          # _try_schedule pass executions
+        self.memo_hits = 0       # submits enqueued without a placement try
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"<SchedulerStats {self.as_dict()}>"
 
 
 class AgentScheduler:
@@ -50,27 +104,48 @@ class AgentScheduler:
         self.session = session
         self.nodes = nodes
         self.pilot_uid = pilot_uid
-        self._pending: List[Tuple[int, int, "Task", Event]] = []
         self._seq = itertools.count()
+        #: per-shape pending heaps, entries ordered by (-priority, seq)
+        self._shape_queues: Dict[ShapeKey, List[list]] = {}
+        #: uid -> live pending entry (O(1) withdraw / duplicate check)
+        self._entries: Dict[str, list] = {}
+        self._pending_count = 0
+        #: shapes that failed placement since capacity last increased
+        self._infeasible: Set[ShapeKey] = set()
         self._held: Dict[str, List[Slot]] = {}
+        #: node index -> {uid: slot count} (held_on_node without scans)
+        self._node_held: Dict[int, Dict[str, int]] = {}
         self._colocate_node: Dict[str, int] = {}
         self._affinity_node: Dict[str, int] = {}  # soft data-affinity memory
         self._rr_index = 0  # round-robin start node for spreading load
+        self.stats = SchedulerStats()
+        # Node repairs grow capacity outside this class's own entry points
+        # (mark_up is public API; the fault injector's explicit kick() is
+        # convention, not contract).  Subscribe to health-up changes so the
+        # infeasible-shape memo can never go stale against a repair.
+        for node in nodes:
+            node._listeners.append(self._node_changed)
+
+    def _node_changed(self, node: NodeState, kind: str) -> None:
+        if kind == "up":
+            self._capacity_increased()
 
     # -- validation ----------------------------------------------------------
     def _feasible(self, task: "Task") -> bool:
-        """Could the request ever fit on an *empty* pilot?"""
+        """Could the request ever fit on an *empty* pilot?  O(1)."""
         d = task.description
-        per_node_ok = any(
-            node.num_cores >= d.cores_per_rank
-            and node.num_gpus >= d.gpus_per_rank
-            and node.mem_gb >= d.mem_per_rank_gb
-            for node in self.nodes)
-        if not per_node_ok:
+        if not self.nodes.can_ever_fit(d.cores_per_rank, d.gpus_per_rank,
+                                       d.mem_per_rank_gb):
             return False
-        total_cores = sum(n.num_cores for n in self.nodes)
-        total_gpus = sum(n.num_gpus for n in self.nodes)
-        return task.n_cores <= total_cores and task.n_gpus <= total_gpus
+        return (task.n_cores <= self.nodes.total_cores
+                and task.n_gpus <= self.nodes.total_gpus)
+
+    @staticmethod
+    def _shape_of(task: "Task") -> ShapeKey:
+        d = task.description
+        group = d.tags.get("colocate") if d.tags else None
+        return (d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                d.ranks, group)
 
     # -- public API ------------------------------------------------------------
     def schedule(self, task: "Task") -> Event:
@@ -79,15 +154,33 @@ class AgentScheduler:
         if task.uid in self._held:
             event.fail(SchedulerError(f"{task.uid} already holds slots"))
             return event
+        if task.uid in self._entries:
+            event.fail(SchedulerError(f"{task.uid} is already queued"))
+            return event
         if not self._feasible(task):
             event.fail(SchedulerError(
                 f"{task.uid} can never fit on pilot {self.pilot_uid}: "
                 f"needs {task.n_cores}c/{task.n_gpus}g"))
             return event
-        self._pending.append(
-            (-task.description.priority, next(self._seq), task, event))
-        self._pending.sort(key=lambda entry: entry[:2])
-        self._try_schedule()
+        shape = self._shape_of(task)
+        if shape in self._infeasible:
+            # Known-unplaceable at current capacity: enqueue without a
+            # placement attempt.  Every queued sibling of this shape was
+            # rejected since the last capacity increase, and capacity only
+            # shrinks between increases, so trying again cannot succeed.
+            self.stats.memo_hits += 1
+            self._enqueue(shape, task, event)
+            return event
+        # Invariant: a shape absent from the memo has no queued entries
+        # (they were all granted or the shape is memoised), so attempting
+        # just this request preserves the global grant order -- all other
+        # pending work is currently unplaceable by construction.
+        slots = self._place(task)
+        if slots is None:
+            self._infeasible.add(shape)
+            self._enqueue(shape, task, event)
+            return event
+        self._grant(task, event, slots)
         return event
 
     def release(self, task: "Task") -> None:
@@ -97,37 +190,90 @@ class AgentScheduler:
             raise SchedulerError(f"{task.uid} holds no slots")
         for slot in slots:
             self.nodes[slot.node_index].release(slot)
+            self._drop_node_held(slot.node_index, task.uid)
         task.slots = []
-        self._try_schedule()
+        self._capacity_increased()
 
     def withdraw(self, task: "Task") -> bool:
-        """Remove a queued (not yet granted) request.  True if found."""
-        for entry in self._pending:
-            if entry[2] is task:
-                self._pending.remove(entry)
-                return True
-        return False
+        """Remove a queued (not yet granted) request.  True if found.
+
+        O(1): the entry is tombstoned in place and skipped lazily when its
+        heap surfaces it.  No capacity changed, so no rescan is needed.
+        """
+        entry = self._entries.pop(task.uid, None)
+        if entry is None:
+            return False
+        entry[_ALIVE] = False
+        self._pending_count -= 1
+        return True
 
     def kick(self) -> None:
         """Re-run placement (e.g. after a crashed node was repaired)."""
-        self._try_schedule()
+        self._capacity_increased()
 
     def held_on_node(self, node_index: int) -> List[str]:
         """Uids of tasks holding at least one slot on the given node."""
-        return [uid for uid, slots in self._held.items()
-                if any(s.node_index == node_index for s in slots)]
+        return list(self._node_held.get(node_index, ()))
 
     @property
     def queue_length(self) -> int:
-        return len(self._pending)
+        return self._pending_count
 
     @property
     def held_tasks(self) -> List[str]:
         return list(self._held)
 
+    # -- queue plumbing ----------------------------------------------------------
+    def _enqueue(self, shape: ShapeKey, task: "Task", event: Event) -> None:
+        entry = [-task.description.priority, next(self._seq), task, event,
+                 True]
+        heappush(self._shape_queues.setdefault(shape, []), entry)
+        self._entries[task.uid] = entry
+        self._pending_count += 1
+
+    def _peek(self, queue: List[list]) -> Optional[list]:
+        """Head live entry of one shape heap (tombstones popped lazily)."""
+        while queue:
+            head = queue[0]
+            if head[_ALIVE]:
+                return head
+            heappop(queue)
+        return None
+
+    def _grant(self, task: "Task", event: Event,
+               slots: List[Slot]) -> None:
+        self._held[task.uid] = slots
+        for slot in slots:
+            holders = self._node_held.setdefault(slot.node_index, {})
+            holders[task.uid] = holders.get(task.uid, 0) + 1
+        task.slots = slots
+        self.stats.grants += 1
+        self.session.profiler.record(
+            self.session.engine.now, task.uid, "schedule_ok",
+            self.pilot_uid)
+        event.succeed(slots)
+
+    def _drop_node_held(self, node_index: int, uid: str) -> None:
+        holders = self._node_held.get(node_index)
+        if holders is None:
+            return
+        count = holders.get(uid, 0) - 1
+        if count > 0:
+            holders[uid] = count
+        else:
+            holders.pop(uid, None)
+            if not holders:
+                del self._node_held[node_index]
+
+    def _capacity_increased(self) -> None:
+        """Capacity grew: forget rejections and wake feasible shapes."""
+        self._infeasible.clear()
+        self._try_schedule()
+
     # -- placement ---------------------------------------------------------------
     def _place(self, task: "Task") -> Optional[List[Slot]]:
         """Try to place all ranks; returns slots or None (state rolled back)."""
+        self.stats.place_attempts += 1
         d = task.description
         slots: List[Slot] = []
         group = d.tags.get("colocate") if d.tags else None
@@ -174,21 +320,41 @@ class AgentScheduler:
         return slots
 
     def _try_schedule(self) -> None:
-        """Grant every queued request that currently fits (priority order)."""
-        granted = True
-        while granted:
-            granted = False
-            for entry in list(self._pending):
-                _negprio, _seq, task, event = entry
-                slots = self._place(task)
-                if slots is None:
+        """Grant every queued request that currently fits (priority order).
+
+        One pass: repeatedly pick the globally best (priority, arrival)
+        head among shapes not yet rejected at the current capacity, attempt
+        it, and either grant (shape stays live -- its next entry may fit
+        the remaining capacity) or memoise the shape as infeasible.  Each
+        shape is attempted at most once past its final grant, so the pass
+        costs O(grants + live shapes) placement attempts instead of the
+        seed's O(grants * queue length).
+        """
+        self.stats.passes += 1
+        queues = self._shape_queues
+        infeasible = self._infeasible
+        while True:
+            best_head: Optional[list] = None
+            best_shape: Optional[ShapeKey] = None
+            for shape in list(queues):
+                if shape in infeasible:
                     continue
-                self._pending.remove(entry)
-                self._held[task.uid] = slots
-                task.slots = slots
-                self.session.profiler.record(
-                    self.session.engine.now, task.uid, "schedule_ok",
-                    self.pilot_uid)
-                event.succeed(slots)
-                granted = True
-                break
+                head = self._peek(queues[shape])
+                if head is None:
+                    del queues[shape]  # fully drained shape
+                    continue
+                if best_head is None or (head[0], head[1]) < \
+                        (best_head[0], best_head[1]):
+                    best_head = head
+                    best_shape = shape
+            if best_head is None:
+                return
+            task, event = best_head[2], best_head[3]
+            slots = self._place(task)
+            if slots is None:
+                infeasible.add(best_shape)
+                continue
+            heappop(queues[best_shape])
+            del self._entries[task.uid]
+            self._pending_count -= 1
+            self._grant(task, event, slots)

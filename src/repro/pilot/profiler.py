@@ -1,4 +1,4 @@
-"""Timestamped profile events, RADICAL-style.
+"""Timestamped profile events, RADICAL-style, with tiered retention.
 
 Every runtime component records ``(time, entity_uid, event, component)``
 rows; the analytics layer (:mod:`repro.analytics.metrics`) derives the
@@ -8,32 +8,89 @@ paper's metrics from them:
 * **RT** (response time)   = communication + service + inference per request;
 * **IT** (inference time)  = the inference component alone.
 
-The profiler is append-only and cheap; queries build numpy arrays on demand.
+At O(100k) tasks the profiler itself becomes a control-plane cost: every
+state transition, launch and execution phase appends a row, and an
+unbounded row list dominates peak memory.  The profiler is therefore
+**tiered** (``level=``):
+
+* ``"full"``       -- every row is kept (``__slots__`` rows, optionally
+  bounded by ``max_rows``); the default, needed by row-level queries like
+  :meth:`events`;
+* ``"durations"``  -- only the *first* timestamp per (uid, event) pair is
+  kept, which is exactly what :meth:`timestamp` / :meth:`duration` /
+  :meth:`durations` and the analytics layer consume.  Memory is bounded by
+  the number of distinct pairs, not the event count;
+* ``"off"``        -- recording is a counter bump; all queries come back
+  empty.  For pure-throughput campaigns.
+
+``Session(profile="durations")`` selects the tier for a whole run.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Profiler", "ProfileEvent"]
+__all__ = ["Profiler", "ProfileEvent", "ProfileRow"]
 
 ProfileEvent = Tuple[float, str, str, str]  # (time, uid, event, component)
 
 
-class Profiler:
-    """Append-only event store with duration extraction."""
+class ProfileRow(NamedTuple):
+    """One profile row: a named tuple, so rows stay tuple-compatible
+    (``row[0]``, unpacking, ``== (t, uid, ev, comp)``) while carrying no
+    per-instance ``__dict__``."""
 
-    def __init__(self) -> None:
-        self._rows: List[ProfileEvent] = []
-        self._by_uid: Dict[str, List[ProfileEvent]] = defaultdict(list)
+    time: float
+    uid: str
+    event: str
+    component: str
+
+
+class Profiler:
+    """Tiered event store with duration extraction."""
+
+    LEVELS = ("full", "durations", "off")
+
+    def __init__(self, level: str = "full",
+                 max_rows: Optional[int] = None) -> None:
+        if level not in self.LEVELS:
+            raise ValueError(f"level must be one of {self.LEVELS}")
+        if max_rows is not None and max_rows < 0:
+            raise ValueError("max_rows must be non-negative")
+        self.level = level
+        self.max_rows = max_rows
+        self._rows: List[ProfileRow] = []
+        self._by_uid: Dict[str, List[ProfileRow]] = defaultdict(list)
+        #: (uid, event) -> first timestamp (the "durations" tier's store;
+        #: also the O(1) lookup path for the full tier)
+        self._first: Dict[Tuple[str, str], float] = {}
+        #: event -> {uid: None} in first-occurrence order
+        self._event_uids: Dict[str, Dict[str, None]] = {}
+        #: record() calls total, regardless of tier/bound
+        self.recorded = 0
+        #: rows not retained (off tier, or full tier past max_rows)
+        self.dropped = 0
 
     def record(self, time: float, uid: str, event: str,
                component: str = "") -> None:
-        """Append one profile row."""
-        row = (float(time), uid, event, component)
+        """Record one profile row (retention depends on the tier)."""
+        self.recorded += 1
+        if self.level == "off":
+            self.dropped += 1
+            return
+        key = (uid, event)
+        if key not in self._first:
+            self._first[key] = float(time)
+            self._event_uids.setdefault(event, {})[uid] = None
+        if self.level == "durations":
+            return
+        if self.max_rows is not None and len(self._rows) >= self.max_rows:
+            self.dropped += 1
+            return
+        row = ProfileRow(float(time), uid, event, component)
         self._rows.append(row)
         self._by_uid[uid].append(row)
 
@@ -42,25 +99,22 @@ class Profiler:
 
     # -- queries -------------------------------------------------------------
     def events(self, uid: Optional[str] = None,
-               event: Optional[str] = None) -> List[ProfileEvent]:
-        """Rows filtered by uid and/or event name."""
+               event: Optional[str] = None) -> List[ProfileRow]:
+        """Rows filtered by uid and/or event name (full tier only)."""
         rows = self._by_uid.get(uid, []) if uid is not None else self._rows
         if event is not None:
-            rows = [r for r in rows if r[2] == event]
+            rows = [r for r in rows if r.event == event]
         return list(rows)
 
     def timestamp(self, uid: str, event: str) -> Optional[float]:
         """First timestamp of *event* for *uid* (None if absent)."""
-        for row in self._by_uid.get(uid, ()):
-            if row[2] == event:
-                return row[0]
-        return None
+        return self._first.get((uid, event))
 
     def duration(self, uid: str, start_event: str,
                  stop_event: str) -> Optional[float]:
         """Seconds between two events of one entity (None if either absent)."""
-        t0 = self.timestamp(uid, start_event)
-        t1 = self.timestamp(uid, stop_event)
+        t0 = self._first.get((uid, start_event))
+        t1 = self._first.get((uid, stop_event))
         if t0 is None or t1 is None:
             return None
         return t1 - t0
@@ -68,21 +122,23 @@ class Profiler:
     def durations(self, uids: Iterable[str], start_event: str,
                   stop_event: str) -> np.ndarray:
         """Vector of durations across entities (skips incomplete ones)."""
+        first = self._first
         values = []
         for uid in uids:
-            d = self.duration(uid, start_event, stop_event)
-            if d is not None:
-                values.append(d)
+            t0 = first.get((uid, start_event))
+            t1 = first.get((uid, stop_event))
+            if t0 is not None and t1 is not None:
+                values.append(t1 - t0)
         return np.asarray(values, dtype=float)
 
     def uids_with_event(self, event: str) -> List[str]:
-        """All entity uids that recorded *event* (insertion ordered)."""
-        seen = {}
-        for row in self._rows:
-            if row[2] == event:
-                seen.setdefault(row[1], None)
-        return list(seen)
+        """All entity uids that recorded *event* (first-occurrence order)."""
+        return list(self._event_uids.get(event, ()))
 
     def clear(self) -> None:
         self._rows.clear()
         self._by_uid.clear()
+        self._first.clear()
+        self._event_uids.clear()
+        self.recorded = 0
+        self.dropped = 0

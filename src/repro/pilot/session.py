@@ -49,7 +49,8 @@ class Session:
                  platforms: Optional[List[Union[str, PlatformSpec]]] = None,
                  uid: Optional[str] = None,
                  data_config: Optional["DataConfig"] = None,
-                 resilience_config: Optional["ResilienceConfig"] = None) -> None:
+                 resilience_config: Optional["ResilienceConfig"] = None,
+                 profile: str = "full") -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -61,9 +62,16 @@ class Session:
         else:
             self.engine = RealtimeEngine(factor=realtime_factor)
         self.fabric = Fabric(self.rng_hub.stream("fabric"))
-        self.profiler = Profiler()
+        #: profiling tier: "full" keeps every row, "durations" keeps first
+        #: timestamps only (bounded memory), "off" disables recording
+        self.profiler = Profiler(level=profile)
         self._batch: Dict[str, BatchSystem] = {}
         self._closed = False
+        self._quiescing = False
+        #: background keep-alive processes (heartbeats, fault loops, lease
+        #: watchdogs) interrupted by quiesce() so run() can drain
+        self._daemons: List[Any] = []
+        self._daemon_prune_at = 64
         self._pool: Optional[ThreadPoolExecutor] = None
         self._data_config = data_config
         self._data: Optional["DataServices"] = None
@@ -148,6 +156,55 @@ class Session:
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Drive the engine (see :meth:`SimulationEngine.run`)."""
         return self.engine.run(until=until)
+
+    # -- quiesce / stop ----------------------------------------------------------
+    @property
+    def quiescing(self) -> bool:
+        """True once :meth:`quiesce` has been called."""
+        return self._quiescing
+
+    def add_daemon(self, process) -> None:
+        """Register a background keep-alive process for quiesce interruption.
+
+        Daemons are infinite loops that keep the event queue alive by
+        design -- pilot heartbeats, lease watchdogs, fault-injection loops.
+        They must treat :class:`~repro.sim.events.Interrupt` as an orderly
+        shutdown signal.
+
+        Registering after :meth:`quiesce` stops the daemon immediately:
+        a pilot that only activates during the final drain (e.g. one still
+        in batch queue-wait when the campaign ended) must not re-arm
+        heartbeats the quiesce can no longer reach.
+        """
+        if self._quiescing:
+            process.interrupt("session quiesce")
+            return
+        self._daemons.append(process)
+        # Amortised cleanup: long campaigns with pilot resubmission register
+        # daemons per activation (one fault loop per node); completed loops
+        # must not pin their dead pilot's state for the session lifetime.
+        if len(self._daemons) >= self._daemon_prune_at:
+            self._daemons = [p for p in self._daemons if p.is_alive]
+            self._daemon_prune_at = max(64, 2 * len(self._daemons))
+
+    def quiesce(self) -> None:
+        """Signal session-scoped shutdown so ``run()`` drains cleanly.
+
+        With resilience enabled, pilot heartbeats (and their watchdogs and
+        fault loops) re-arm forever, which forced every campaign to run
+        with ``until=`` and guess a horizon.  Quiescing interrupts all
+        registered daemons: no further keep-alive events are scheduled, no
+        lease is declared expired by the silence, and a final ``run()``
+        processes whatever genuine work remains and returns.  Idempotent.
+        """
+        if self._quiescing:
+            return
+        self._quiescing = True
+        daemons, self._daemons = self._daemons, []
+        for process in daemons:
+            process.interrupt("session quiesce")
+        log.info("session %s quiescing at t=%.3f (%d daemons stopped)",
+                 self.uid, self.engine.now, len(daemons))
 
     # -- lifecycle -----------------------------------------------------------------
     @property

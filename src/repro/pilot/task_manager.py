@@ -198,20 +198,67 @@ class TaskManager:
     # -- submission ----------------------------------------------------------------
     def submit_tasks(
         self, descriptions: Union[TaskDescription, Iterable[TaskDescription]],
+        chunk_size: Optional[int] = None,
     ) -> List[Task]:
-        """Submit task descriptions; returns live task handles."""
+        """Submit task descriptions; returns live task handles.
+
+        This is the **bulk path**: uids for the whole batch are generated
+        under one lock acquisition and task handles are materialised
+        up-front, so campaign code holds the full list immediately.
+
+        *chunk_size* bounds control-plane pressure for very large batches:
+        instead of spawning one driver process per task at submit time
+        (100k simultaneous drivers means 100k live generators and queue
+        entries before the first task finishes), drivers are started
+        *chunk_size* tasks at a time, the next chunk when the previous one
+        has completed.  ``None`` (the default) keeps the fully concurrent
+        semantics.  Tasks cancelled before their chunk starts driving are
+        skipped, not resurrected.
+        """
         if isinstance(descriptions, TaskDescription):
             descriptions = [descriptions]
+        descriptions = list(descriptions)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        uids = self.session.ids.generate_batch("task", len(descriptions))
+        session = self.session
+        callbacks = self._callbacks
         tasks: List[Task] = []
-        for desc in descriptions:
-            task = Task(self.session, desc, self.session.ids.generate("task"))
-            for callback in self._callbacks:
+        table = self._tasks
+        for desc, uid in zip(descriptions, uids):
+            task = Task(session, desc, uid)
+            for callback in callbacks:
                 task.on_state(callback)
-            self._tasks[task.uid] = task
-            self._drivers[task.uid] = self.session.engine.process(
-                self._drive(task))
+            table[uid] = task
             tasks.append(task)
+        if chunk_size is None or chunk_size >= len(tasks):
+            engine_process = session.engine.process
+            drivers = self._drivers
+            for task in tasks:
+                drivers[task.uid] = engine_process(self._drive(task))
+        else:
+            session.engine.process(self._feed_chunks(tasks, chunk_size))
         return tasks
+
+    def _feed_chunks(self, tasks: List[Task], chunk_size: int):
+        """Feeder process: start drivers one chunk at a time.
+
+        Bounds the number of simultaneously live driver generators (and
+        with them pending queue depth on the agent side) without touching
+        per-task semantics -- every task still gets its own driver with the
+        full retry/cancel machinery once its chunk is up.
+        """
+        engine = self.session.engine
+        for lo in range(0, len(tasks), chunk_size):
+            chunk = tasks[lo:lo + chunk_size]
+            waits = []
+            for task in chunk:
+                if task.completed.triggered or task.is_final:
+                    continue  # cancelled while queued behind earlier chunks
+                self._drivers[task.uid] = engine.process(self._drive(task))
+                waits.append(task.completed)
+            if waits:
+                yield engine.all_of(waits)
 
     def _drive(self, task: Task):
         """Driver process: attempt loop with policy-driven retries.
@@ -341,7 +388,7 @@ class TaskManager:
                 driver.interrupt("cancelled by user")
             elif task.is_final:  # failed, recovery pending but driver gone
                 task.seal()
-            else:  # not yet started driving (shouldn't happen) -- force
+            else:  # queued behind an undriven chunk: cancel in place
                 task.finish(TaskState.CANCELED, self.uid)
 
     def fail_task(self, task: Task, exc: BaseException) -> None:

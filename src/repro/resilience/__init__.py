@@ -146,7 +146,8 @@ class ResilienceServices:
         lease = self.monitor.watch(pilot.uid,
                                    self.config.heartbeat_interval_s,
                                    self.config.lease_misses)
-        self.session.engine.process(self._pilot_heartbeat(pilot))
+        self.session.add_daemon(
+            self.session.engine.process(self._pilot_heartbeat(pilot)))
         self.recovery.watch_pilot(pmgr, pilot, lease)
         if self.injector is not None:
             self.injector.arm_pilot(pilot)
@@ -158,16 +159,28 @@ class ResilienceServices:
             self.monitor.deregister(pilot.uid)
 
     def _pilot_heartbeat(self, pilot: "Pilot"):
-        """Agent-side heartbeat loop: beats stop the instant the pilot dies."""
+        """Agent-side heartbeat loop: beats stop the instant the pilot dies.
+
+        Runs as a session daemon: :meth:`Session.quiesce` interrupts it so
+        a final ``run()`` can drain instead of re-arming beats forever.
+        """
         from ..pilot.states import PilotState
+        from ..sim.events import Interrupt
         engine = self.session.engine
         sender = Address(name=f"{pilot.uid}.hb",
                          platform=pilot.platform.name)
-        while pilot.state == PilotState.PMGR_ACTIVE:
-            self.session.bus.publish(
-                heartbeat_topic(pilot.uid),
-                {"uid": pilot.uid, "t": engine.now}, sender=sender)
-            yield engine.timeout(self.config.heartbeat_interval_s)
+        timer = None
+        try:
+            while pilot.state == PilotState.PMGR_ACTIVE:
+                self.session.bus.publish(
+                    heartbeat_topic(pilot.uid),
+                    {"uid": pilot.uid, "t": engine.now}, sender=sender)
+                timer = engine.timeout(self.config.heartbeat_interval_s)
+                yield timer
+        except Interrupt:
+            self.monitor.deregister(pilot.uid)
+            if timer is not None and not timer.processed:
+                timer.cancel()
 
     # -- fan-out helpers ---------------------------------------------------------
     def fail_task(self, uid: str, exc: BaseException) -> bool:

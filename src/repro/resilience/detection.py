@@ -92,7 +92,8 @@ class HeartbeatMonitor:
         self._leases[uid] = lease
         sub = self.session.bus.subscribe(topic or heartbeat_topic(uid),
                                          platform=self.platform)
-        self.session.engine.process(self._watchdog(lease, sub))
+        self.session.add_daemon(
+            self.session.engine.process(self._watchdog(lease, sub)))
         return lease
 
     def deregister(self, uid: str) -> None:
@@ -117,9 +118,15 @@ class HeartbeatMonitor:
 
     # -- the watchdog ------------------------------------------------------------
     def _watchdog(self, lease: Lease, sub):
-        """Lease loop: each beat re-arms the timer; silence declares death."""
+        """Lease loop: each beat re-arms the timer; silence declares death.
+
+        A session daemon: quiesce interrupts the loop, which counts as an
+        orderly goodbye (no failure is declared for the ensuing silence).
+        """
+        from ..sim.events import Interrupt
         engine = self.session.engine
         get_ev = sub.get()
+        timer = None
         try:
             while True:
                 timer = engine.timeout(lease.interval_s * lease.misses)
@@ -144,5 +151,12 @@ class HeartbeatMonitor:
                             lease.uid, engine.now, lease.last_beat_at)
                 lease.declared.succeed(engine.now)
                 return
+        except Interrupt:
+            # orderly goodbye (session quiesce): drop the armed lease
+            # timer so the drain does not advance the clock to its expiry
+            lease.deregistered = True
+            if timer is not None and not timer.processed:
+                timer.cancel()
+            return
         finally:
             sub.cancel()

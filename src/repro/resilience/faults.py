@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..sim.events import AnyOf
+from ..sim.events import AnyOf, Interrupt
 from ..utils.log import get_logger
 from .failures import NodeFailure
 
@@ -117,8 +117,13 @@ class FaultInjector:
 
     # -- arming ------------------------------------------------------------------
     def arm_pilot(self, pilot: "Pilot") -> None:
-        """Attach fault processes to a freshly activated pilot."""
+        """Attach fault processes to a freshly activated pilot.
+
+        Every fault loop registers as a session daemon: quiesce stops the
+        adversary along with the heartbeats it preys on.
+        """
         engine = self.session.engine
+        daemon = self.session.add_daemon
         self._armed_pilots.append(pilot)
         spec = pilot.platform
         mtbf = (self.model.node_mtbf_s if self.model.node_mtbf_s is not None
@@ -127,24 +132,34 @@ class FaultInjector:
                 else spec.node_mttr_s)
         if mtbf and mtbf > 0:
             for node in pilot.nodes:
-                engine.process(self._node_fault_loop(pilot, node, mtbf, mttr))
+                daemon(engine.process(
+                    self._node_fault_loop(pilot, node, mtbf, mttr)))
         if self.model.pilot_preempt_mtbf_s > 0:
-            engine.process(self._pilot_preempt(pilot))
+            daemon(engine.process(self._pilot_preempt(pilot)))
         if self.model.link_flap_mtbf_s > 0 and not self._link_loop_running:
             self._link_loop_running = True
-            engine.process(self._link_flap_loop())
+            daemon(engine.process(self._link_flap_loop()))
 
     def arm_services(self, smgr) -> None:
         """Start the serving-instance crash process over a ServiceManager."""
         if self.model.service_crash_mtbf_s > 0:
-            self.session.engine.process(self._service_crash_loop(smgr))
+            self.session.add_daemon(
+                self.session.engine.process(self._service_crash_loop(smgr)))
 
     # -- node faults -------------------------------------------------------------
     def _wait_or_pilot_end(self, pilot: "Pilot", delay: float):
         """Yield until *delay* elapses or the pilot ends.  True = pilot ended."""
         engine = self.session.engine
         timer = engine.timeout(delay)
-        yield AnyOf(engine, [timer, pilot.finished])
+        try:
+            yield AnyOf(engine, [timer, pilot.finished])
+        except Interrupt:
+            # session quiesce: drop the armed MTBF/MTTR timer so the final
+            # drain does not advance the clock to its (possibly distant)
+            # expiry; the caller's handler sees the same Interrupt
+            if not timer.processed:
+                timer.cancel()
+            raise
         if pilot.finished.processed:
             if not timer.processed:
                 timer.cancel()
@@ -154,34 +169,42 @@ class FaultInjector:
     def _node_fault_loop(self, pilot: "Pilot", node, mtbf: float,
                          mttr: float):
         from ..pilot.states import PilotState
-        while pilot.state == PilotState.PMGR_ACTIVE:
-            delay = float(self._rng.exponential(mtbf))
-            ended = yield from self._wait_or_pilot_end(pilot, delay)
-            if ended:
-                return
-            degraded = float(self._rng.random()) < self.model.degraded_fraction
-            if degraded:
-                node.mark_degraded()
-                self._record("node_degraded", node.name, detail=pilot.uid)
-            else:
-                node.mark_down()
-                self._record("node_crash", node.name, detail=pilot.uid)
-                for uid in pilot.agent.scheduler.held_on_node(node.index):
-                    self.services.fail_task(
-                        uid, NodeFailure(node.name, pilot.uid))
-            ended = yield from self._wait_or_pilot_end(pilot, max(mttr, 0.0))
-            if ended:
-                return
-            node.mark_up()
-            self._record("node_repair", node.name)
-            pilot.agent.scheduler.kick()
+        try:
+            while pilot.state == PilotState.PMGR_ACTIVE:
+                delay = float(self._rng.exponential(mtbf))
+                ended = yield from self._wait_or_pilot_end(pilot, delay)
+                if ended:
+                    return
+                degraded = \
+                    float(self._rng.random()) < self.model.degraded_fraction
+                if degraded:
+                    node.mark_degraded()
+                    self._record("node_degraded", node.name, detail=pilot.uid)
+                else:
+                    node.mark_down()
+                    self._record("node_crash", node.name, detail=pilot.uid)
+                    for uid in pilot.agent.scheduler.held_on_node(node.index):
+                        self.services.fail_task(
+                            uid, NodeFailure(node.name, pilot.uid))
+                ended = yield from self._wait_or_pilot_end(
+                    pilot, max(mttr, 0.0))
+                if ended:
+                    return
+                node.mark_up()
+                self._record("node_repair", node.name)
+                pilot.agent.scheduler.kick()
+        except Interrupt:  # session quiesce
+            return
 
     # -- pilot preemption --------------------------------------------------------
     def _pilot_preempt(self, pilot: "Pilot"):
         from ..hpc.batch import JobState
         from ..pilot.states import PilotState
         delay = float(self._rng.exponential(self.model.pilot_preempt_mtbf_s))
-        ended = yield from self._wait_or_pilot_end(pilot, delay)
+        try:
+            ended = yield from self._wait_or_pilot_end(pilot, delay)
+        except Interrupt:  # session quiesce
+            return
         if ended:
             return
         if pilot.state != PilotState.PMGR_ACTIVE \
@@ -206,37 +229,54 @@ class FaultInjector:
         from ..data.transfers import TransferAborted
         from ..pilot.states import PilotState
         engine = self.session.engine
-        while True:
-            delay = float(self._rng.exponential(self.model.link_flap_mtbf_s))
-            yield engine.timeout(delay)
-            if self._armed_pilots and all(
-                    p.state in PilotState.FINAL for p in self._armed_pilots):
-                return  # campaign over: stop generating events
-            busy = [link for link
-                    in self.session.data.transfers.links().values()
-                    if link.active_flows]
-            if not busy:
-                continue
-            link = busy[int(self._rng.integers(len(busy)))]
-            n = link.interrupt_all(
-                lambda flow: TransferAborted(f"link {link.name} flapped"))
-            self._record("link_flap", link.name, detail=f"{n} flows killed")
+        timer = None
+        try:
+            while True:
+                delay = float(self._rng.exponential(
+                    self.model.link_flap_mtbf_s))
+                timer = engine.timeout(delay)
+                yield timer
+                if self._armed_pilots and all(
+                        p.state in PilotState.FINAL
+                        for p in self._armed_pilots):
+                    return  # campaign over: stop generating events
+                busy = [link for link
+                        in self.session.data.transfers.links().values()
+                        if link.active_flows]
+                if not busy:
+                    continue
+                link = busy[int(self._rng.integers(len(busy)))]
+                n = link.interrupt_all(
+                    lambda flow: TransferAborted(f"link {link.name} flapped"))
+                self._record("link_flap", link.name,
+                             detail=f"{n} flows killed")
+        except Interrupt:  # session quiesce
+            if timer is not None and not timer.processed:
+                timer.cancel()
+            return
 
     # -- service crashes ---------------------------------------------------------
     def _service_crash_loop(self, smgr):
         from ..pilot.states import ServiceState
         engine = self.session.engine
-        while True:
-            delay = float(self._rng.exponential(
-                self.model.service_crash_mtbf_s))
-            yield engine.timeout(delay)
-            if smgr.services and all(
-                    h.service_state in ServiceState.FINAL
-                    for h in smgr.services):
-                return
-            ready = smgr.ready_services()
-            if not ready:
-                continue
-            victim = ready[int(self._rng.integers(len(ready)))]
-            self._record("service_crash", victim.uid)
-            smgr.crash_service(victim)
+        timer = None
+        try:
+            while True:
+                delay = float(self._rng.exponential(
+                    self.model.service_crash_mtbf_s))
+                timer = engine.timeout(delay)
+                yield timer
+                if smgr.services and all(
+                        h.service_state in ServiceState.FINAL
+                        for h in smgr.services):
+                    return
+                ready = smgr.ready_services()
+                if not ready:
+                    continue
+                victim = ready[int(self._rng.integers(len(ready)))]
+                self._record("service_crash", victim.uid)
+                smgr.crash_service(victim)
+        except Interrupt:  # session quiesce
+            if timer is not None and not timer.processed:
+                timer.cancel()
+            return

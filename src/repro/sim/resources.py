@@ -37,6 +37,8 @@ __all__ = [
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`."""
 
+    __slots__ = ("resource", "priority", "granted")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
         super().__init__(resource.engine)
         self.resource = resource
@@ -151,6 +153,8 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Pending put into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.engine)
         self.item = item
@@ -158,6 +162,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending get from a :class:`Store`."""
+
+    __slots__ = ("predicate",)
 
     def __init__(self, store: "Store",
                  predicate: Optional[Callable[[Any], bool]] = None) -> None:

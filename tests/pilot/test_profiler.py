@@ -64,3 +64,63 @@ class TestProfiler:
         p.clear()
         assert len(p) == 0
         assert p.timestamp("t", "x") is None
+
+
+class TestTiers:
+    def test_durations_tier_answers_duration_queries(self):
+        p = Profiler(level="durations")
+        p.record(1.0, "t", "start")
+        p.record(5.0, "t", "start")  # first timestamp still wins
+        p.record(4.0, "t", "stop")
+        assert p.timestamp("t", "start") == 1.0
+        assert p.duration("t", "start", "stop") == 3.0
+        assert p.uids_with_event("start") == ["t"]
+
+    def test_durations_tier_keeps_no_rows(self):
+        p = Profiler(level="durations")
+        for i in range(1000):
+            p.record(float(i), "t", "beat")
+        assert len(p) == 0
+        assert p.events() == []
+        assert p.recorded == 1000
+        # memory is bounded by distinct (uid, event) pairs, not records
+        assert len(p._first) == 1
+
+    def test_off_tier_records_nothing(self):
+        p = Profiler(level="off")
+        p.record(1.0, "t", "x")
+        assert len(p) == 0
+        assert p.timestamp("t", "x") is None
+        assert p.durations(["t"], "x", "y").size == 0
+        assert p.recorded == 1 and p.dropped == 1
+
+    def test_full_tier_max_rows_bound(self):
+        p = Profiler(max_rows=3)
+        for i in range(10):
+            p.record(float(i), f"t{i}", "x")
+        assert len(p) == 3
+        assert p.dropped == 7
+        # first-timestamp queries still work past the row bound
+        assert p.timestamp("t9", "x") == 9.0
+
+    def test_unknown_level_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="level"):
+            Profiler(level="verbose")
+
+    def test_rows_are_tuple_compatible(self):
+        p = Profiler()
+        p.record(1.0, "t", "x", "comp")
+        (row,) = p.events()
+        assert row == (1.0, "t", "x", "comp")
+        assert row[2] == "x"
+        t, uid, ev, comp = row
+        assert (t, uid, ev, comp) == (1.0, "t", "x", "comp")
+
+    def test_session_plumbs_profile_level(self):
+        from repro.pilot import Session
+        with Session(profile="off") as s:
+            s.profiler.record(0.0, "t", "x")
+            assert len(s.profiler) == 0
+        with Session(profile="durations") as s:
+            assert s.profiler.level == "durations"

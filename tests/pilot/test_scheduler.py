@@ -134,6 +134,121 @@ class TestPriority:
         assert g_small.processed  # used the leftover core
 
 
+class TestHotPath:
+    """Event-driven rescans: placement work is O(feasible), not O(queue)."""
+
+    def test_single_kick_grants_all_feasible(self, session):
+        # 1 node x 8 cores, blocked by an 8-core hog; 10 x 2-core waiters.
+        sched, _ = make_scheduler(session, n_nodes=1, cores=8)
+        hog = make_task(session, cores_per_rank=8)
+        session.run(until=sched.schedule(hog))
+        grants = [sched.schedule(make_task(session, cores_per_rank=2))
+                  for _ in range(10)]
+        session.run()
+        assert sched.queue_length == 10
+        before = sched.stats.place_attempts
+        sched.release(hog)  # single capacity increase
+        session.run()
+        # all four that fit were granted by the one kick
+        assert sum(1 for g in grants if g.processed) == 4
+        assert sched.queue_length == 6
+        # 4 successful placements + exactly 1 failed probe for the shared
+        # shape -- not a rescan of all 10 entries after every grant
+        assert sched.stats.place_attempts - before == 5
+
+    def test_submit_into_infeasible_shape_skips_placement(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=4)
+        hog = make_task(session, cores_per_rank=4)
+        session.run(until=sched.schedule(hog))
+        first = make_task(session, cores_per_rank=4)
+        sched.schedule(first)  # probes once, memoises the shape
+        attempts = sched.stats.place_attempts
+        for _ in range(50):
+            sched.schedule(make_task(session, cores_per_rank=4))
+        assert sched.stats.place_attempts == attempts  # all memo hits
+        assert sched.stats.memo_hits >= 50
+        assert sched.queue_length == 51
+
+    def test_distinct_shape_still_probed_after_memo(self, session):
+        # memoising one shape must not block a smaller one (backfill)
+        sched, _ = make_scheduler(session, n_nodes=1, cores=4)
+        hog = make_task(session, cores_per_rank=3)
+        session.run(until=sched.schedule(hog))
+        sched.schedule(make_task(session, cores_per_rank=4))  # memoised
+        small = sched.schedule(make_task(session, cores_per_rank=1))
+        session.run()
+        assert small.processed  # backfilled the leftover core
+
+
+class TestWithdrawAndCrashPaths:
+    """Regression pins for cancel-while-queued and node-crash handling."""
+
+    def test_cancel_while_queued_never_grants(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=4)
+        hog = make_task(session, cores_per_rank=4)
+        session.run(until=sched.schedule(hog))
+        victims = [make_task(session, cores_per_rank=4) for _ in range(3)]
+        grants = [sched.schedule(t) for t in victims]
+        assert sched.withdraw(victims[1])
+        assert sched.queue_length == 2
+        sched.release(hog)
+        session.run()
+        # head waiter granted, withdrawn one skipped, third still queued
+        assert grants[0].processed
+        assert not grants[1].triggered
+        assert not grants[2].triggered
+        assert sched.queue_length == 1
+
+    def test_withdraw_then_reschedule_same_task(self, session):
+        sched, _ = make_scheduler(session, n_nodes=1, cores=2)
+        hog = make_task(session, cores_per_rank=2)
+        session.run(until=sched.schedule(hog))
+        task = make_task(session, cores_per_rank=2)
+        sched.schedule(task)
+        assert sched.withdraw(task)
+        grant2 = sched.schedule(task)  # retry path re-enters the queue
+        sched.release(hog)
+        session.run()
+        assert grant2.processed
+
+    def test_held_on_node_index_tracks_grants_and_releases(self, session):
+        sched, nodes = make_scheduler(session, n_nodes=2, cores=4)
+        a = make_task(session, cores_per_rank=1)
+        b = make_task(session, ranks=2, cores_per_rank=2)  # spans node slots
+        session.run(until=sched.schedule(a))
+        session.run(until=sched.schedule(b))
+        for node in nodes:
+            expected = sorted(t.uid for t in (a, b)
+                              if any(s.node_index == node.index
+                                     for s in t.slots))
+            assert sorted(sched.held_on_node(node.index)) == expected
+        sched.release(a)
+        assert a.uid not in sched.held_on_node(0)
+        sched.release(b)
+        assert sched.held_on_node(0) == [] and sched.held_on_node(1) == []
+
+    def test_node_crash_reports_resident_tasks_only(self, session):
+        # the fault injector kills exactly held_on_node(crashed) tasks
+        sched, nodes = make_scheduler(session, n_nodes=2, cores=2)
+        on0 = make_task(session, cores_per_rank=2)
+        on1 = make_task(session, cores_per_rank=2)
+        session.run(until=sched.schedule(on0))
+        session.run(until=sched.schedule(on1))
+        crashed = on0.slots[0].node_index
+        nodes[crashed].mark_down()
+        victims = sched.held_on_node(crashed)
+        assert victims == [on0.uid]
+        # crash-release + repair + kick lets a waiter through again
+        waiter = sched.schedule(make_task(session, cores_per_rank=2))
+        sched.release(on0)
+        session.run()
+        assert not waiter.triggered  # crashed node is still down
+        nodes[crashed].mark_up()
+        sched.kick()
+        session.run()
+        assert waiter.processed
+
+
 class TestColocation:
     def test_colocated_tasks_share_node(self, session):
         sched, _ = make_scheduler(session, n_nodes=4, cores=8)
@@ -165,3 +280,28 @@ class TestColocation:
         sched.release(first)
         session.run()
         assert g2.processed
+
+
+class TestRepairWakeup:
+    """mark_up alone (no explicit kick) must wake memoised shapes."""
+
+    def test_repair_without_kick_grants_queued_task(self, session):
+        sched, nodes = make_scheduler(session, n_nodes=1, cores=4)
+        nodes[0].mark_down()
+        task = make_task(session, cores_per_rank=2)
+        grant = sched.schedule(task)  # probes, fails, memoises the shape
+        assert not grant.triggered
+        nodes[0].mark_up()  # public API, no kick() -- must still rescan
+        session.run()
+        assert grant.processed
+        assert sched.queue_length == 0
+
+    def test_repair_without_kick_wakes_submit_path(self, session):
+        sched, nodes = make_scheduler(session, n_nodes=1, cores=4)
+        nodes[0].mark_down()
+        blocked = sched.schedule(make_task(session, cores_per_rank=2))
+        nodes[0].mark_up()
+        # submitting the same shape after the repair must probe again
+        late = sched.schedule(make_task(session, cores_per_rank=2))
+        session.run()
+        assert blocked.processed and late.processed

@@ -61,3 +61,122 @@ class TestSession:
             # ids are per-session registries; sessions share global prefix
             assert s1.ids.generate("task") == "task.0000"
             assert s2.ids.generate("task") == "task.0000"
+
+
+class TestQuiesce:
+    """Session-scoped stop signal: run() drains with resilience live."""
+
+    def _campaign(self):
+        from repro.pilot import (PilotDescription, PilotManager,
+                                 TaskDescription, TaskManager)
+        from repro.resilience import ResilienceConfig
+
+        session = Session(
+            seed=7, resilience_config=ResilienceConfig(
+                heartbeat_interval_s=2.0))
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=1, runtime_s=1e9))
+        tmgr.add_pilots(pilot)
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="x", duration_s=5.0)
+            for _ in range(4)])
+        return session, tmgr, tasks
+
+    def test_quiesce_lets_run_drain(self):
+        session, tmgr, tasks = self._campaign()
+        with session:
+            session.run(until=tmgr.wait_tasks(tasks))
+            assert all(t.state == "DONE" for t in tasks)
+            t_done = session.now
+            session.quiesce()
+            session.run()  # would loop heartbeats forever without quiesce
+            assert session.quiescing
+            # drained soon after: no further heartbeat re-arming; only the
+            # already-scheduled walltime/batch events remain to flush
+            assert session.engine.is_idle()
+            assert t_done <= session.now
+
+    def test_quiesce_declares_no_false_failures(self):
+        session, tmgr, tasks = self._campaign()
+        with session:
+            session.run(until=tmgr.wait_tasks(tasks))
+            session.quiesce()
+            session.run()
+            monitor = session.resilience.monitor
+            assert monitor.detections == []
+
+    def test_quiesce_idempotent_and_preserves_results(self):
+        session, tmgr, tasks = self._campaign()
+        with session:
+            session.run(until=tmgr.wait_tasks(tasks))
+            session.quiesce()
+            session.quiesce()
+            session.run()
+            assert all(t.state == "DONE" for t in tasks)
+
+    def test_daemon_added_after_quiesce_is_stopped_immediately(self):
+        # a pilot activating during the final drain must not re-arm
+        # heartbeats that quiesce can no longer reach
+        with Session() as session:
+            session.quiesce()
+            beats = []
+
+            def late_daemon():
+                from repro.sim.events import Interrupt
+                try:
+                    while True:
+                        beats.append(session.now)
+                        yield session.engine.timeout(5.0)
+                except Interrupt:
+                    return
+
+            session.add_daemon(session.engine.process(late_daemon()))
+            session.run()
+            assert session.engine.is_idle()
+            assert len(beats) <= 1  # interrupted before re-arming
+
+    def test_quiesce_cancels_armed_lease_timers(self):
+        # the watchdog's pending lease timer must not drag the drained
+        # clock forward by interval*misses
+        from repro.resilience import ResilienceConfig
+
+        session = Session(
+            seed=1, resilience_config=ResilienceConfig(
+                heartbeat_interval_s=100.0, lease_misses=3))
+        with session:
+            monitor = session.resilience.monitor
+            monitor.watch("svc.test", interval_s=100.0, misses=3)
+            session.run(until=1.0)
+            session.quiesce()
+            session.run()
+            # without the cancel, the drain would advance to t=300
+            assert session.now < 100.0
+            assert monitor.detections == []
+
+    def test_quiesce_cancels_armed_fault_timers(self):
+        # interrupted fault loops must not leave their (possibly huge)
+        # MTBF timers in the heap, or the drain drags the clock to them
+        from repro.pilot import (PilotDescription, PilotManager,
+                                 TaskDescription, TaskManager)
+        from repro.resilience import FaultModel, ResilienceConfig
+
+        config = ResilienceConfig(
+            heartbeat_interval_s=2.0,
+            faults=FaultModel(node_mtbf_s=1e6, node_mttr_s=60.0))
+        with Session(seed=13, resilience_config=config) as session:
+            pmgr = PilotManager(session)
+            tmgr = TaskManager(session)
+            (pilot,) = pmgr.submit_pilots(PilotDescription(
+                resource="delta", nodes=2, runtime_s=500.0))
+            tmgr.add_pilots(pilot)
+            tasks = tmgr.submit_tasks([
+                TaskDescription(executable="x", duration_s=5.0)
+                for _ in range(3)])
+            session.run(until=tmgr.wait_tasks(tasks))
+            session.quiesce()
+            session.run()
+            # drain flushes the 500s walltime, never the ~1e6s MTBF draw
+            assert session.engine.is_idle()
+            assert session.now <= 600.0

@@ -377,3 +377,66 @@ class TestDataAffinityPlacement:
         with Session(seed=1) as session:
             with pytest.raises(ValueError):
                 TaskManager(session, placement="gravity")
+
+
+class TestBulkSubmission:
+    """The bulk path: batched uids, chunked driver spawn, same semantics."""
+
+    def test_chunked_submission_completes_all(self, env):
+        session, _, tmgr, _ = env
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=1.0)
+             for _ in range(23)], chunk_size=5)
+        assert len(tasks) == 23
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.state == TaskState.DONE for t in tasks)
+
+    def test_chunking_bounds_live_drivers(self, env):
+        session, _, tmgr, pilot = env
+        seen = []
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=10.0,
+                             cores_per_rank=1)
+             for _ in range(16)], chunk_size=4)
+
+        def watch():
+            if not pilot.is_active:
+                yield pilot.became_active
+            while any(not t.is_final for t in tasks):
+                seen.append(pilot.agent.scheduler.queue_length
+                            + len(pilot.agent.scheduler.held_tasks))
+                yield session.engine.timeout(1.0)
+
+        session.engine.process(watch())
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.state == TaskState.DONE for t in tasks)
+        # agent-side pressure never exceeds one chunk
+        assert max(seen) <= 4
+
+    def test_cancel_task_in_undriven_chunk(self, env):
+        session, _, tmgr, _ = env
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=20.0,
+                             cores_per_rank=64, ranks=2)  # one at a time
+             for _ in range(6)], chunk_size=2)
+        victim = tasks[5]  # sits in the last, undriven chunk
+        tmgr.cancel_tasks(victim)
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert victim.state == TaskState.CANCELED
+        assert victim.runtime_s is None  # never executed
+        done = [t for t in tasks if t.state == TaskState.DONE]
+        assert len(done) == 5
+
+    def test_bulk_uids_are_dense_and_ordered(self, env):
+        _, _, tmgr, _ = env
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=1.0)
+             for _ in range(5)])
+        numbers = [int(t.uid.split(".")[1]) for t in tasks]
+        assert numbers == list(range(numbers[0], numbers[0] + 5))
+
+    def test_bad_chunk_size_rejected(self, env):
+        _, _, tmgr, _ = env
+        with pytest.raises(ValueError, match="chunk_size"):
+            tmgr.submit_tasks(
+                [TaskDescription(executable="x")], chunk_size=0)

@@ -158,6 +158,181 @@ def test_scheduler_never_oversubscribes(data):
                 assert 0 <= node.free_gpus <= gpus
 
 
+def _linear_find_fit(nodes, cores, gpus, mem_gb, start, avoid):
+    """The seed's O(n) first-fit scan, kept as the query oracle."""
+    n = len(nodes)
+    deferred = None
+    for off in range(n):
+        node = nodes[(start + off) % n]
+        if node.fits(cores, gpus, mem_gb):
+            if avoid and node.name in avoid:
+                deferred = deferred or node
+                continue
+            return node
+    return deferred
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_free_capacity_index_matches_linear_scan(data):
+    """find_fit through the segment tree == the seed's linear scan.
+
+    Random allocate/release/health traffic, then find_fit queries with
+    random starts and avoid sets: the index must return the *identical*
+    node (not just an equivalent one) for every query.
+    """
+    n_nodes = data.draw(st.integers(min_value=1, max_value=6))
+    cores = data.draw(st.integers(min_value=1, max_value=8))
+    gpus = data.draw(st.integers(min_value=0, max_value=3))
+    nodes = NodeList.build(n_nodes, cores, gpus, 32.0)
+    live = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=40))):
+        op = data.draw(st.sampled_from(
+            ["alloc", "alloc", "release", "health", "query"]))
+        if op == "alloc":
+            node = nodes[data.draw(st.integers(0, n_nodes - 1))]
+            want_c = data.draw(st.integers(0, cores))
+            want_g = data.draw(st.integers(0, gpus)) if gpus else 0
+            want_m = float(data.draw(st.integers(0, 32)))
+            if node.fits(want_c, want_g, want_m):
+                live.append(node.allocate(want_c, want_g, want_m))
+        elif op == "release" and live:
+            slot = live.pop(data.draw(st.integers(0, len(live) - 1)))
+            nodes[slot.node_index].release(slot)
+        elif op == "health":
+            node = nodes[data.draw(st.integers(0, n_nodes - 1))]
+            data.draw(st.sampled_from([
+                node.mark_down, node.mark_degraded, node.mark_up]))()
+        else:
+            want_c = data.draw(st.integers(0, cores))
+            want_g = data.draw(st.integers(0, gpus)) if gpus else 0
+            want_m = float(data.draw(st.integers(0, 32)))
+            start = data.draw(st.integers(0, n_nodes - 1))
+            avoid = set(data.draw(st.lists(
+                st.sampled_from([n.name for n in nodes]), max_size=3)))
+            assert nodes.find_fit(want_c, want_g, want_m, start, avoid) \
+                is _linear_find_fit(nodes, want_c, want_g, want_m, start,
+                                    avoid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_indexed_scheduler_matches_reference(data):
+    """The indexed scheduler is observably identical to the seed algorithm.
+
+    Randomized submit/release/withdraw/crash-repair traffic (with random
+    priorities, multi-rank requests, colocate groups, affinity hints and
+    avoid sets) replays through the production :class:`AgentScheduler` and
+    the :class:`ReferenceScheduler` (the seed's quadratic implementation,
+    kept as executable spec).  After every operation, grant *order*, slot
+    *assignments*, queue lengths and per-node free capacity must all
+    match exactly.
+    """
+    from repro.pilot.agent.reference import ReferenceScheduler
+
+    n_nodes = data.draw(st.integers(min_value=1, max_value=4))
+    cores = data.draw(st.integers(min_value=2, max_value=8))
+    gpus = data.draw(st.integers(min_value=0, max_value=2))
+    with Session(seed=0) as sa, Session(seed=0) as sb:
+        nodes_a = NodeList.build(n_nodes, cores, gpus, 64.0)
+        nodes_b = NodeList.build(n_nodes, cores, gpus, 64.0)
+        indexed = AgentScheduler(sa, nodes_a, "pilot.eq")
+        reference = ReferenceScheduler(sb, nodes_b, "pilot.eq")
+        node_names = [n.name for n in nodes_a]
+        pairs = {}          # uid -> (task_a, task_b)
+        status = {}         # uid -> queued | held | done
+        n_ops = data.draw(st.integers(min_value=1, max_value=35))
+        for i in range(n_ops):
+            op = data.draw(st.sampled_from(
+                ["submit", "submit", "submit", "release", "withdraw",
+                 "crash_cycle", "kick"]))
+            if op == "submit":
+                tags = {}
+                if data.draw(st.booleans()):
+                    tags["colocate"] = data.draw(st.sampled_from("gh"))
+                elif data.draw(st.booleans()):
+                    tags["affinity"] = data.draw(st.sampled_from("xy"))
+                desc = TaskDescription(
+                    executable="x", tags=tags,
+                    priority=data.draw(st.integers(0, 2)),
+                    ranks=data.draw(st.integers(1, 2)),
+                    cores_per_rank=data.draw(st.integers(1, cores + 1)),
+                    gpus_per_rank=data.draw(st.integers(0, max(gpus, 1))))
+                uid = f"t{i}"
+                ta, tb = Task(sa, desc, uid), Task(sb, desc, uid)
+                if data.draw(st.booleans()):
+                    avoid = set(data.draw(st.lists(
+                        st.sampled_from(node_names), max_size=2)))
+                    ta.avoid_nodes = set(avoid)
+                    tb.avoid_nodes = set(avoid)
+                pairs[uid] = (ta, tb)
+                ga = indexed.schedule(ta)
+                gb = reference.schedule(tb)
+                assert ga.triggered == gb.triggered
+                assert (ga.ok, gb.ok) in ((True, True), (False, False),
+                                          (None, None))
+                if ga.ok is False:
+                    status[uid] = "done"  # infeasible on both
+                elif ga.ok:
+                    status[uid] = "held"
+                else:
+                    status[uid] = "queued"
+            elif op == "release":
+                held = [u for u, s in status.items() if s == "held"]
+                if not held:
+                    continue
+                uid = data.draw(st.sampled_from(sorted(held)))
+                ta, tb = pairs[uid]
+                status[uid] = "done"
+                indexed.release(ta)
+                reference.release(tb)
+            elif op == "withdraw":
+                queued = [u for u, s in status.items() if s == "queued"]
+                if not queued:
+                    continue
+                uid = data.draw(st.sampled_from(sorted(queued)))
+                ta, tb = pairs[uid]
+                assert indexed.withdraw(ta) == reference.withdraw(tb)
+                status[uid] = "done"
+            elif op == "crash_cycle":
+                idx = data.draw(st.integers(0, n_nodes - 1))
+                assert sorted(indexed.held_on_node(idx)) == \
+                    sorted(reference.held_on_node(idx))
+                nodes_a[idx].mark_down()
+                nodes_b[idx].mark_down()
+                for uid in indexed.held_on_node(idx):
+                    ta, tb = pairs[uid]
+                    status[uid] = "done"
+                    indexed.release(ta)
+                    reference.release(tb)
+                nodes_a[idx].mark_up()
+                nodes_b[idx].mark_up()
+                indexed.kick()
+                reference.kick()
+            else:
+                indexed.kick()
+                reference.kick()
+            # grants newly fired by this op move queued -> held
+            for uid, (ta, _tb) in pairs.items():
+                if status.get(uid) == "queued" and ta.slots:
+                    status[uid] = "held"
+            # -- observational equivalence after every operation ----------
+            rows_a = sa.profiler.events(event="schedule_ok")
+            rows_b = sb.profiler.events(event="schedule_ok")
+            assert [r[1] for r in rows_a] == [r[1] for r in rows_b]
+            assert indexed.queue_length == reference.queue_length
+            assert sorted(indexed.held_tasks) == sorted(reference.held_tasks)
+            for uid, (ta, tb) in pairs.items():
+                assert [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                        for s in ta.slots] == \
+                    [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                     for s in tb.slots], uid
+            for na, nb in zip(nodes_a, nodes_b):
+                assert na.free_cores == nb.free_cores
+                assert na.free_gpus == nb.free_gpus
+                assert na.free_mem_gb == nb.free_mem_gb
+
+
 # ---------------------------------------------------------------------------
 # Data subsystem: caches and replica registry
 # ---------------------------------------------------------------------------
