@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Streaming campaign: three use-case graphs in one dataflow campaign.
+
+The campaign engine runs the UQ and signature-detection graphs (their
+per-item dataflow forms) plus the cell-painting graph *concurrently* in
+one campaign on a shared allocation, with a backpressure window bounding
+in-flight tasks across everything.  No stage barriers: every sample's
+enrichment, every model's UQ cells, every HPO round streams the moment
+its own inputs land.
+
+Run:  python examples/streaming_campaign.py
+"""
+
+from repro import PilotDescription, PilotManager, Session, TaskManager
+from repro.analytics import ReportBuilder, campaign_metrics
+from repro.workflows import (
+    CellPaintingConfig,
+    SignatureConfig,
+    UQConfig,
+    build_cell_painting_campaign,
+    build_signature_campaign,
+    build_uq_campaign,
+)
+
+
+def main() -> None:
+    with Session(seed=9) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=4, runtime_s=1e7))
+        tmgr.add_pilots(pilot)
+        runner = session.campaign_runner(tmgr, window=64)
+
+        graphs = [
+            build_uq_campaign(UQConfig(seeds=(0, 1), n_train=120,
+                                       n_test=60, seed=5)),
+            build_signature_campaign(SignatureConfig(
+                n_samples=8, variants_per_sample=150, seed=4)),
+            build_cell_painting_campaign(CellPaintingConfig(
+                n_shards=4, images_per_shard=4, image_size=16, n_trials=4,
+                concurrent_trials=2, min_shards_to_train=2,
+                trial_epochs=5)),
+        ]
+        proc = session.engine.process(runner.run_campaign(graphs))
+        uq_ctx, sig_ctx, cp_ctx = session.run(until=proc)
+        metrics = campaign_metrics(session, runner.node_tasks,
+                                   total_cores=4 * 64)
+
+    report = ReportBuilder("Streaming campaign -- three workflows, "
+                           "one allocation")
+    report.add_table(
+        ["workflow", "nodes", "headline result"],
+        [["uncertainty-quantification", len(graphs[0]),
+          f"best llama method: "
+          f"{uq_ctx['result'].best_method_for('llama')}"],
+         ["signature-detection", len(graphs[1]),
+          f"recovery recall: {sig_ctx['result'].recovery_recall:.2f}"],
+         ["cell-painting", len(graphs[2]),
+          f"best val accuracy: "
+          f"{cp_ctx['result'].best_val_accuracy:.3f}"]],
+        title="campaign graphs")
+    report.add_kv({
+        "tasks (done/total)": f"{metrics.n_done}/{metrics.n_tasks}",
+        "makespan": f"{metrics.makespan_s:.1f} s",
+        "cross-node overlap fraction": f"{metrics.overlap_fraction:.2f}",
+        "allocation idle fraction": f"{metrics.idle_fraction:.3f}",
+        "peak in-flight (window 64)": runner.window.peak,
+    }, title="campaign metrics")
+    report.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,7 @@ service, and model instances".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,8 @@ __all__ = [
     "data_metrics",
     "FailureMetrics",
     "failure_metrics",
+    "CampaignMetrics",
+    "campaign_metrics",
 ]
 
 
@@ -345,6 +347,135 @@ def failure_metrics(session, tasks) -> FailureMetrics:
         wasted_core_s=wasted,
         detection_latency=dist_stats(detections),
         recovery_latency=dist_stats(recoveries),
+    )
+
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Overlap/idle accounting for one campaign's execution window.
+
+    The streaming engine's whole point is filling the allocation that
+    stage barriers idle, so the headline numbers are ``idle_fraction``
+    (allocation core-seconds *not* spent executing over the campaign
+    span) and ``overlap_fraction`` (of the time at least one node's task
+    was executing, the share during which tasks of **two or more
+    distinct nodes** executed concurrently -- exactly the concurrency a
+    stage barrier forbids between consecutive stages).
+    """
+
+    makespan_s: float
+    n_tasks: int
+    n_done: int
+    n_nodes: int
+    busy_core_s: float
+    alloc_core_s: float
+    idle_fraction: float
+    overlap_fraction: float
+    peak_concurrency: int     # max simultaneously executing tasks
+    peak_busy_cores: int      # max simultaneously busy cores
+
+    def row(self) -> Dict[str, object]:
+        """Flat report row (core-hours for readability)."""
+        return {
+            "makespan_s": self.makespan_s,
+            "tasks": f"{self.n_done}/{self.n_tasks}",
+            "busy_core_h": self.busy_core_s / 3600.0,
+            "idle_frac": self.idle_fraction,
+            "overlap_frac": self.overlap_fraction,
+            "peak_tasks": self.peak_concurrency,
+        }
+
+
+def campaign_metrics(session, groups: Dict[str, Iterable],
+                     total_cores: int,
+                     span_s: Optional[float] = None) -> CampaignMetrics:
+    """Extract :class:`CampaignMetrics` from a finished campaign.
+
+    *groups* maps node keys to their tasks -- a
+    :class:`~repro.workflows.campaign.CampaignRunner`'s ``node_tasks``
+    fits directly.  Execution intervals come from the profiler's
+    ``exec_start``/``exec_stop`` first-timestamps, so the ``durations``
+    tier suffices; tasks that never reached execution are skipped.
+    *span_s* overrides the makespan (default: last ``exec_stop`` minus
+    first ``exec_start``); *total_cores* sizes the allocation for the
+    idle accounting.
+    """
+    if total_cores < 1:
+        raise ValueError("total_cores must be >= 1")
+    profiler = session.profiler
+    intervals = []   # (start, stop, group, cores)
+    n_tasks = 0
+    n_done = 0
+    for group, tasks in groups.items():
+        for task in tasks:
+            n_tasks += 1
+            n_done += task.state == "DONE"
+            t0 = profiler.timestamp(task.uid, "exec_start")
+            t1 = profiler.timestamp(task.uid, "exec_stop")
+            if t0 is None or t1 is None:
+                continue
+            intervals.append((t0, t1, group, task.n_cores))
+    if not intervals:
+        nan = float("nan")
+        return CampaignMetrics(
+            makespan_s=span_s if span_s is not None else 0.0,
+            n_tasks=n_tasks, n_done=n_done, n_nodes=len(groups),
+            busy_core_s=0.0, alloc_core_s=0.0, idle_fraction=nan,
+            overlap_fraction=nan, peak_concurrency=0, peak_busy_cores=0)
+
+    makespan = span_s if span_s is not None else (
+        max(t1 for _, t1, _, _ in intervals)
+        - min(t0 for t0, _, _, _ in intervals))
+    busy_core_s = sum((t1 - t0) * cores for t0, t1, _, cores in intervals)
+    alloc_core_s = total_cores * makespan
+
+    # Sweep the interval boundaries, tracking active tasks per group.
+    boundaries = []  # (time, order, group, d_tasks, d_cores)
+    for t0, t1, group, cores in intervals:
+        boundaries.append((t0, 1, group, 1, cores))
+        boundaries.append((t1, 0, group, -1, -cores))
+    boundaries.sort(key=lambda b: (b[0], b[1]))  # stops before starts
+    active: Dict[str, int] = {}
+    active_groups = 0    # groups with at least one executing task,
+    busy_tasks = 0       # maintained incrementally on 0<->1 crossings so
+    busy_cores = 0       # the sweep stays O(n log n) for per-item graphs
+    peak_concurrency = 0
+    peak_busy_cores = 0
+    active_span = 0.0
+    overlap_span = 0.0
+    prev_t = boundaries[0][0]
+    for time, _, group, d_tasks, d_cores in boundaries:
+        dt = time - prev_t
+        if dt > 0:
+            if busy_tasks > 0:
+                active_span += dt
+                if active_groups >= 2:
+                    overlap_span += dt
+            prev_t = time
+        before = active.get(group, 0)
+        active[group] = before + d_tasks
+        if before == 0 and d_tasks > 0:
+            active_groups += 1
+        elif before + d_tasks == 0 and before > 0:
+            active_groups -= 1
+        busy_tasks += d_tasks
+        busy_cores += d_cores
+        peak_concurrency = max(peak_concurrency, busy_tasks)
+        peak_busy_cores = max(peak_busy_cores, busy_cores)
+
+    return CampaignMetrics(
+        makespan_s=float(makespan),
+        n_tasks=n_tasks,
+        n_done=n_done,
+        n_nodes=len(groups),
+        busy_core_s=float(busy_core_s),
+        alloc_core_s=float(alloc_core_s),
+        idle_fraction=(1.0 - busy_core_s / alloc_core_s
+                       if alloc_core_s > 0 else float("nan")),
+        overlap_fraction=(overlap_span / active_span
+                          if active_span > 0 else float("nan")),
+        peak_concurrency=peak_concurrency,
+        peak_busy_cores=peak_busy_cores,
     )
 
 

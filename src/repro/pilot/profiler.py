@@ -24,11 +24,18 @@ unbounded row list dominates peak memory.  The profiler is therefore
   empty.  For pure-throughput campaigns.
 
 ``Session(profile="durations")`` selects the tier for a whole run.
+
+The full tier's ``max_rows`` bound supports two *retention* modes:
+``"bound"`` (the default) keeps the **oldest** rows and drops newest once
+the cap is hit -- right for post-mortem analysis of a run's beginning --
+while ``"ring"`` keeps the **most recent** rows in a ring buffer, which is
+what live monitoring wants (the current window of activity, not the first
+N events of a days-old campaign).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
@@ -53,16 +60,25 @@ class Profiler:
     """Tiered event store with duration extraction."""
 
     LEVELS = ("full", "durations", "off")
+    RETENTIONS = ("bound", "ring")
 
     def __init__(self, level: str = "full",
-                 max_rows: Optional[int] = None) -> None:
+                 max_rows: Optional[int] = None,
+                 retention: str = "bound") -> None:
         if level not in self.LEVELS:
             raise ValueError(f"level must be one of {self.LEVELS}")
         if max_rows is not None and max_rows < 0:
             raise ValueError("max_rows must be non-negative")
+        if retention not in self.RETENTIONS:
+            raise ValueError(f"retention must be one of {self.RETENTIONS}")
         self.level = level
         self.max_rows = max_rows
-        self._rows: List[ProfileRow] = []
+        self.retention = retention
+        self._ring = retention == "ring" and max_rows is not None
+        self._rows: List[ProfileRow] = (
+            deque(maxlen=max_rows) if self._ring else [])
+        #: uid index (kept only outside ring mode: evictions from the ring
+        #: would leave stale index entries, so ring queries scan instead)
         self._by_uid: Dict[str, List[ProfileRow]] = defaultdict(list)
         #: (uid, event) -> first timestamp (the "durations" tier's store;
         #: also the O(1) lookup path for the full tier)
@@ -87,10 +103,15 @@ class Profiler:
             self._event_uids.setdefault(event, {})[uid] = None
         if self.level == "durations":
             return
+        row = ProfileRow(float(time), uid, event, component)
+        if self._ring:
+            if len(self._rows) == self.max_rows:
+                self.dropped += 1  # oldest row evicted by the ring
+            self._rows.append(row)
+            return
         if self.max_rows is not None and len(self._rows) >= self.max_rows:
             self.dropped += 1
             return
-        row = ProfileRow(float(time), uid, event, component)
         self._rows.append(row)
         self._by_uid[uid].append(row)
 
@@ -100,8 +121,17 @@ class Profiler:
     # -- queries -------------------------------------------------------------
     def events(self, uid: Optional[str] = None,
                event: Optional[str] = None) -> List[ProfileRow]:
-        """Rows filtered by uid and/or event name (full tier only)."""
-        rows = self._by_uid.get(uid, []) if uid is not None else self._rows
+        """Rows filtered by uid and/or event name (full tier only).
+
+        Ring retention scans the live window (no uid index is kept there);
+        it is sized for monitoring, not row-level analytics at scale.
+        """
+        if uid is not None and not self._ring:
+            rows: Iterable[ProfileRow] = self._by_uid.get(uid, [])
+        else:
+            rows = self._rows
+            if uid is not None:
+                rows = [r for r in rows if r.uid == uid]
         if event is not None:
             rows = [r for r in rows if r.event == event]
         return list(rows)

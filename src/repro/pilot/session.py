@@ -50,7 +50,9 @@ class Session:
                  uid: Optional[str] = None,
                  data_config: Optional["DataConfig"] = None,
                  resilience_config: Optional["ResilienceConfig"] = None,
-                 profile: str = "full") -> None:
+                 profile: str = "full",
+                 profile_max_rows: Optional[int] = None,
+                 profile_retention: str = "bound") -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -63,8 +65,11 @@ class Session:
             self.engine = RealtimeEngine(factor=realtime_factor)
         self.fabric = Fabric(self.rng_hub.stream("fabric"))
         #: profiling tier: "full" keeps every row, "durations" keeps first
-        #: timestamps only (bounded memory), "off" disables recording
-        self.profiler = Profiler(level=profile)
+        #: timestamps only (bounded memory), "off" disables recording;
+        #: retention="ring" with max_rows keeps the *newest* rows (live
+        #: monitoring) instead of the oldest
+        self.profiler = Profiler(level=profile, max_rows=profile_max_rows,
+                                 retention=profile_retention)
         self._batch: Dict[str, BatchSystem] = {}
         self._closed = False
         self._quiescing = False
@@ -142,6 +147,16 @@ class Session:
     @property
     def now(self) -> float:
         return self.engine.now
+
+    # -- campaign facade ---------------------------------------------------------
+    def campaign_runner(self, task_manager,
+                        window: Optional[int] = None):
+        """A :class:`~repro.workflows.campaign.CampaignRunner` on this
+        session: streaming, dependency-driven execution of one or more
+        workflow graphs with optional backpressure (*window* bounds the
+        campaign's concurrently driven tasks)."""
+        from ..workflows.campaign import CampaignRunner
+        return CampaignRunner(self, task_manager, window=window)
 
     # -- real-work execution (realtime mode) ------------------------------------
     @property

@@ -20,6 +20,7 @@ task's placement.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
 from ..data import PLACEMENTS
@@ -35,9 +36,64 @@ from .task import Pilot, Task
 if TYPE_CHECKING:  # pragma: no cover
     from .session import Session
 
-__all__ = ["TaskManager"]
+__all__ = ["TaskManager", "SubmissionWindow"]
 
 log = get_logger("pilot.tmgr")
+
+
+class SubmissionWindow:
+    """A counting slot pool bounding concurrently *driven* tasks.
+
+    Windowed submission replaces the strictly serialized chunk path
+    (chunk N+1 starts only when chunk N fully completed) with a sliding
+    window: a new driver starts the moment any in-flight task completes,
+    so the pipe stays full through heterogeneous-duration bags.  One
+    window may be shared across many ``submit_tasks`` calls (and even
+    TaskManagers) -- that is how the campaign engine applies *global*
+    backpressure across every node of every concurrently running graph.
+
+    Slots are acquired atomically per request (a waiter holds nothing
+    while queued), so concurrent submitters sharing one window cannot
+    deadlock on partially acquired bursts.  Admission is strict FIFO:
+    each release reserves slots for (and wakes) exactly the queued
+    requests that now fit, head first -- no thundering herd of waiters
+    re-checking on every completion.
+    """
+
+    def __init__(self, engine, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.in_flight = 0
+        #: high-water mark of concurrently held slots (observability)
+        self.peak = 0
+        self._waiters: deque = deque()   # (event, n) in arrival order
+
+    def _note_peak(self) -> None:
+        if self.in_flight > self.peak:
+            self.peak = self.in_flight
+
+    def acquire(self, n: int = 1):
+        """Process body: block until *n* slots (capped at capacity) fit."""
+        n = min(n, self.capacity)
+        if not self._waiters and self.in_flight + n <= self.capacity:
+            self.in_flight += n
+            self._note_peak()
+            return
+        event = self.engine.event()
+        self._waiters.append((event, n))
+        yield event  # the slots were reserved by release() before the wake
+
+    def release(self, n: int = 1) -> None:
+        """Return *n* slots and admit whatever queued requests now fit."""
+        self.in_flight -= n
+        while self._waiters and \
+                self.in_flight + self._waiters[0][1] <= self.capacity:
+            event, need = self._waiters.popleft()
+            self.in_flight += need
+            self._note_peak()
+            event.succeed(None)
 
 
 class TaskManager:
@@ -199,6 +255,9 @@ class TaskManager:
     def submit_tasks(
         self, descriptions: Union[TaskDescription, Iterable[TaskDescription]],
         chunk_size: Optional[int] = None,
+        window: Union[None, int, SubmissionWindow] = None,
+        after: Optional[Event] = None,
+        on_complete: Optional[Callable[[Task], None]] = None,
     ) -> List[Task]:
         """Submit task descriptions; returns live task handles.
 
@@ -210,16 +269,36 @@ class TaskManager:
         instead of spawning one driver process per task at submit time
         (100k simultaneous drivers means 100k live generators and queue
         entries before the first task finishes), drivers are started
-        *chunk_size* tasks at a time, the next chunk when the previous one
-        has completed.  ``None`` (the default) keeps the fully concurrent
-        semantics.  Tasks cancelled before their chunk starts driving are
-        skipped, not resurrected.
+        *chunk_size* tasks at a time -- without *window*, the next chunk
+        starts only when the previous one has fully completed (strict
+        serialization).
+
+        *window* turns chunking into a sliding window: at most *window*
+        tasks hold live drivers, and the next driver (or chunk of
+        *chunk_size* drivers) starts as soon as slots free up, overlapping
+        chunk N+1's submission with chunk N's completion.  Pass a shared
+        :class:`SubmissionWindow` to bound in-flight tasks *across*
+        multiple submit calls -- the campaign engine's backpressure.
+
+        *after* defers driver start until the given event triggers
+        (dependency-aware submission: handles exist immediately, drivers
+        wait for the upstream completion event).  The event must be one
+        that only succeeds (e.g. ``task.completed``, a node-done event).
+
+        *on_complete* is invoked as ``on_complete(task)`` when each task's
+        completion event fires, whatever the final state.
+
+        Tasks cancelled before their drivers start are skipped, not
+        resurrected.  ``None`` everywhere keeps the fully concurrent
+        semantics.
         """
         if isinstance(descriptions, TaskDescription):
             descriptions = [descriptions]
         descriptions = list(descriptions)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if isinstance(window, int):
+            window = SubmissionWindow(self.session.engine, window)
         uids = self.session.ids.generate_batch("task", len(descriptions))
         session = self.session
         callbacks = self._callbacks
@@ -229,18 +308,29 @@ class TaskManager:
             task = Task(session, desc, uid)
             for callback in callbacks:
                 task.on_state(callback)
+            if on_complete is not None:
+                task.completed.callbacks.append(
+                    lambda event, t=task: on_complete(t))
             table[uid] = task
             tasks.append(task)
-        if chunk_size is None or chunk_size >= len(tasks):
+        if not tasks:
+            return tasks
+        deferred = after is not None and not after.processed
+        if window is not None:
+            session.engine.process(
+                self._feed_window(tasks, window, chunk_size or 1, after))
+        elif (chunk_size is None or chunk_size >= len(tasks)) and not deferred:
             engine_process = session.engine.process
             drivers = self._drivers
             for task in tasks:
                 drivers[task.uid] = engine_process(self._drive(task))
         else:
-            session.engine.process(self._feed_chunks(tasks, chunk_size))
+            session.engine.process(
+                self._feed_chunks(tasks, chunk_size or len(tasks), after))
         return tasks
 
-    def _feed_chunks(self, tasks: List[Task], chunk_size: int):
+    def _feed_chunks(self, tasks: List[Task], chunk_size: int,
+                     after: Optional[Event] = None):
         """Feeder process: start drivers one chunk at a time.
 
         Bounds the number of simultaneously live driver generators (and
@@ -249,6 +339,8 @@ class TaskManager:
         full retry/cancel machinery once its chunk is up.
         """
         engine = self.session.engine
+        if after is not None and not after.processed:
+            yield after
         for lo in range(0, len(tasks), chunk_size):
             chunk = tasks[lo:lo + chunk_size]
             waits = []
@@ -259,6 +351,33 @@ class TaskManager:
                 waits.append(task.completed)
             if waits:
                 yield engine.all_of(waits)
+
+    def _feed_window(self, tasks: List[Task], window: SubmissionWindow,
+                     chunk_size: int, after: Optional[Event] = None):
+        """Feeder process: start drivers under a sliding in-flight window.
+
+        Each task holds one window slot from driver start to completion;
+        slots free as tasks finish, so submission overlaps completion
+        instead of barriering on whole chunks.  With ``chunk_size > 1``
+        drivers spawn in bursts (the slots for a burst are acquired
+        atomically), preserving the spawn-batching of the chunked path.
+        """
+        engine = self.session.engine
+        if after is not None and not after.processed:
+            yield after
+        chunk_size = min(chunk_size, window.capacity)
+        for lo in range(0, len(tasks), chunk_size):
+            chunk = [t for t in tasks[lo:lo + chunk_size]
+                     if not (t.completed.triggered or t.is_final)]
+            if not chunk:
+                continue  # cancelled while queued behind the window
+            yield from window.acquire(len(chunk))
+            for task in chunk:
+                if task.completed.triggered or task.is_final:
+                    window.release()  # cancelled while we waited for slots
+                    continue
+                task.completed.callbacks.append(lambda event: window.release())
+                self._drivers[task.uid] = engine.process(self._drive(task))
 
     def _drive(self, task: Task):
         """Driver process: attempt loop with policy-driven retries.

@@ -1,13 +1,27 @@
-"""Workflow layer: pipeline orchestration and the three LUCID use cases.
+"""Workflow layer: campaign orchestration and the three LUCID use cases.
 
-* :mod:`repro.workflows.dag` -- Pipeline/Stage abstraction over the runtime;
+* :mod:`repro.workflows.campaign` -- the streaming campaign engine
+  (dependency-driven dataflow DAGs, no stage barriers);
+* :mod:`repro.workflows.dag` -- the barrier Pipeline/Stage compatibility
+  shim lowered onto the campaign engine;
 * :mod:`repro.workflows.cell_painting` -- use case II-A;
 * :mod:`repro.workflows.signature_detection` -- use case II-B;
 * :mod:`repro.workflows.uq` -- use case II-C;
 * supporting substrates: imaging, VCF, VEP, pathways, dose-response, MLP,
   HPO, UQ methods, synthetic QA data.
+
+Every use case ships in two forms: ``build_*_pipeline`` (the legacy
+barrier stage-sequence, executed via the shim) and ``build_*_campaign``
+(the streaming per-item dataflow graph).
 """
 
+from .campaign import (
+    CampaignGraph,
+    CampaignRunner,
+    NodeRunner,
+    TaskNode,
+    failed_tasks,
+)
 from .dag import Pipeline, StageFailure, StageSpec, WorkflowRunner
 from .mlp import MLPClassifier, MLPConfig
 from .hpo import (
@@ -48,16 +62,29 @@ from .generator_data import TOPICS, make_qa_dataset
 from .cell_painting import (
     CellPaintingConfig,
     CellPaintingResult,
+    build_cell_painting_campaign,
     build_cell_painting_pipeline,
 )
 from .signature_detection import (
     SignatureConfig,
     SignatureResult,
+    build_signature_campaign,
     build_signature_pipeline,
 )
-from .uq import UQConfig, UQResult, UQSummaryRow, build_uq_pipeline
+from .uq import (
+    UQConfig,
+    UQResult,
+    UQSummaryRow,
+    build_uq_campaign,
+    build_uq_pipeline,
+)
 
 __all__ = [
+    "CampaignGraph",
+    "CampaignRunner",
+    "NodeRunner",
+    "TaskNode",
+    "failed_tasks",
     "Pipeline",
     "StageFailure",
     "StageSpec",
@@ -103,12 +130,15 @@ __all__ = [
     "make_qa_dataset",
     "CellPaintingConfig",
     "CellPaintingResult",
+    "build_cell_painting_campaign",
     "build_cell_painting_pipeline",
     "SignatureConfig",
     "SignatureResult",
+    "build_signature_campaign",
     "build_signature_pipeline",
     "UQConfig",
     "UQResult",
     "UQSummaryRow",
+    "build_uq_campaign",
     "build_uq_pipeline",
 ]

@@ -1,0 +1,520 @@
+"""Streaming campaign engine: dependency-driven dataflow execution.
+
+The barrier-synchronized :class:`~repro.workflows.dag.Pipeline` executes
+stage bags bulk-synchronously: every task of stage *k* must finish before
+the first task of stage *k+1* is even built, so a single straggler idles
+the whole allocation.  This module replaces that execution model with a
+**dataflow campaign**:
+
+* a :class:`TaskNode` is one node of a dependency DAG -- typically *one
+  item* of a former stage (one sample, one shard, one grid cell) with
+  explicit ``deps`` on the upstream nodes whose context entries it reads;
+* a :class:`CampaignGraph` is a named, validated (acyclic, closed) set of
+  nodes; :meth:`~repro.workflows.dag.Pipeline.to_graph` converts a legacy
+  barrier pipeline into the equivalent linear chain;
+* the :class:`CampaignRunner` submits every node **the moment its inputs
+  complete** -- no stage barriers -- runs *multiple graphs concurrently in
+  one campaign*, applies global backpressure through a shared
+  :class:`~repro.pilot.task_manager.SubmissionWindow`, and checkpoints the
+  **frontier** (completed-node set + context snapshots) so a restarted
+  campaign replays only the items that were actually in flight when it
+  died.
+
+Per-node ``failure_tolerance`` and ``collect`` mean partial results flow
+downstream immediately: a node folds its results into the shared context
+as soon as *its* tasks finish, while sibling nodes are still computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..pilot.description import TaskDescription
+from ..pilot.states import TaskState
+from ..pilot.task import Task
+from ..pilot.task_manager import SubmissionWindow, TaskManager
+from ..sim.events import Interrupt
+from ..utils.log import get_logger
+
+__all__ = [
+    "StageFailure",
+    "TaskNode",
+    "CampaignGraph",
+    "CampaignRunner",
+    "failed_tasks",
+]
+
+log = get_logger("workflows.campaign")
+
+
+class StageFailure(Exception):
+    """Raised when a node's (or stage's) tasks fail beyond tolerance."""
+
+
+def failed_tasks(tasks: Iterable[Task]) -> List[Task]:
+    """Tasks that *finished* in a non-DONE state.
+
+    Tasks still mid-recovery must not be double-counted as stage
+    failures -- the resilience subsystem may yet bring them to DONE.
+    That covers both shapes of an in-flight retry: a task parked in
+    RESCHEDULING (not a final state) and a task sitting in FAILED whose
+    recovery decision is still pending -- its completion event has not
+    fired, which is the discriminator used here.
+    """
+    return [t for t in tasks
+            if t.completed.triggered and t.state != TaskState.DONE]
+
+
+@dataclass
+class TaskNode:
+    """One node of a campaign dataflow graph.
+
+    Either provide ``build`` (+ optional ``collect``) for a bag of task
+    descriptions derived from the context, or ``run`` -- a generator
+    function ``run(runner, context)`` that drives the node itself.  The
+    node becomes runnable once every node named in ``deps`` completed
+    successfully; if any dependency failed (or was skipped), the node is
+    skipped.
+    """
+
+    name: str
+    deps: Tuple[str, ...] = ()
+    #: Table I metadata (carried over from StageSpec)
+    resource_type: str = "CPU"          # "CPU" | "GPU"
+    as_service: bool = False
+    #: declarative form
+    build: Optional[Callable[[Dict[str, Any]], List[TaskDescription]]] = None
+    collect: Optional[Callable[[Dict[str, Any], List[Task]], None]] = None
+    #: custom form
+    run: Optional[Callable[["NodeRunner", Dict[str, Any]],
+                           Generator]] = None
+    #: fraction of the node's tasks allowed to fail before the node fails
+    failure_tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.build is None) == (self.run is None):
+            raise ValueError(
+                f"node {self.name!r}: provide exactly one of build= or run=")
+        if self.resource_type not in ("CPU", "GPU"):
+            raise ValueError("resource_type must be CPU or GPU")
+        if not 0 <= self.failure_tolerance <= 1:
+            raise ValueError("failure_tolerance must be in [0, 1]")
+        self.deps = tuple(self.deps)
+
+
+class CampaignGraph:
+    """A named, validated dataflow DAG of :class:`TaskNode` objects."""
+
+    def __init__(self, name: str, nodes: Sequence[TaskNode]) -> None:
+        if not nodes:
+            raise ValueError(f"graph {name!r} has no nodes")
+        self.name = name
+        self.nodes: Dict[str, TaskNode] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise ValueError(
+                    f"graph {name!r}: duplicate node {node.name!r}")
+            self.nodes[node.name] = node
+        for node in nodes:
+            for dep in node.deps:
+                if dep not in self.nodes:
+                    raise ValueError(
+                        f"graph {name!r}: node {node.name!r} depends on "
+                        f"unknown node {dep!r}")
+        self._topo = self._toposort()
+
+    def _toposort(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles.  Ties keep insertion order."""
+        indegree = {name: len(node.deps) for name, node in self.nodes.items()}
+        dependents: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for name, node in self.nodes.items():
+            for dep in node.deps:
+                dependents[dep].append(name)
+        ready = [name for name in self.nodes if indegree[name] == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in dependents[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            cyclic = sorted(set(self.nodes) - set(order))
+            raise ValueError(
+                f"graph {self.name!r} has a dependency cycle among {cyclic}")
+        return order
+
+    def topological_order(self) -> List[str]:
+        """Node names in one valid topological order (deterministic)."""
+        return list(self._topo)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes.values())
+
+    def table_rows(self) -> List[Dict[str, Any]]:
+        """Table-I style rows: node -> resource type -> service flag."""
+        return [{
+            "pipeline": self.name,
+            "stage": node.name,
+            "resource_type": node.resource_type,
+            "as_service": node.as_service,
+        } for node in self.nodes.values()]
+
+    def __repr__(self) -> str:
+        edges = sum(len(n.deps) for n in self.nodes.values())
+        return (f"<CampaignGraph {self.name!r} nodes={len(self.nodes)} "
+                f"edges={edges}>")
+
+
+class NodeRunner:
+    """The per-node facade handed to custom ``run`` generators.
+
+    Presents the same surface custom stages used on the barrier
+    :class:`~repro.workflows.dag.WorkflowRunner` (``session``, ``tmgr``,
+    ``submit_and_wait``) plus non-blocking tracked submission, so stage
+    generators written for the barrier runner work unchanged while their
+    tasks join the campaign's bookkeeping and backpressure window.
+    """
+
+    def __init__(self, campaign: "CampaignRunner", key: str) -> None:
+        self._campaign = campaign
+        self._key = key
+        self.session = campaign.session
+        self.tmgr = campaign.tmgr
+
+    def submit(self, descriptions: List[TaskDescription]) -> List[Task]:
+        """Submit tasks under the campaign window without waiting."""
+        return self._campaign.submit(descriptions, node=self._key)
+
+    def submit_and_wait(self, descriptions: List[TaskDescription],
+                        failure_tolerance: float = 0.0):
+        """Process body: run a bag of tasks, return the finished tasks."""
+        return (yield from self._campaign.submit_and_wait(
+            descriptions, failure_tolerance, node=self._key))
+
+
+class _GraphState:
+    """Mutable per-graph execution state during one campaign run."""
+
+    __slots__ = ("graph", "context", "status", "done", "failures")
+
+    def __init__(self, graph: CampaignGraph, context: Dict[str, Any],
+                 engine) -> None:
+        self.graph = graph
+        self.context = context
+        #: node -> "done" | "failed" | "skipped" | "aborted" (absent = live)
+        self.status: Dict[str, str] = {}
+        #: node -> engine event succeeding (never failing) on settlement
+        self.done = {name: engine.event() for name in graph.nodes}
+        self.failures: List[BaseException] = []
+
+
+class _CampaignRun:
+    """Bookkeeping scoped to one ``run_campaign`` invocation.
+
+    Run state lives here (not on the runner) so concurrent campaigns on
+    one runner -- e.g. two ``run_pipeline`` processes sharing a
+    WorkflowRunner, which the barrier runner always allowed -- cannot
+    clobber each other's frontier, failure or progress accounting.
+    """
+
+    __slots__ = ("states", "ckpt", "ckpt_key", "ckpt_bytes", "saving",
+                 "dirty", "save_index", "completed_total",
+                 "completed_since_save")
+
+    def __init__(self, states: Dict[str, _GraphState]) -> None:
+        self.states = states
+        self.ckpt = None             # Checkpointer while checkpointing
+        self.ckpt_key = ""
+        self.ckpt_bytes: Optional[float] = None
+        self.saving = False
+        self.dirty = False
+        self.save_index = 0
+        self.completed_total = 0
+        self.completed_since_save = 0
+
+
+class CampaignRunner:
+    """Executes dataflow campaigns on a session via a TaskManager.
+
+    ``window`` bounds the number of concurrently *driven* tasks across
+    every graph of the campaign (backpressure): ready nodes still build
+    and submit immediately, but task drivers start only as window slots
+    free up, keeping agent queue depth and live-generator count bounded
+    on very wide campaigns.
+
+    ``node_tasks`` (and with it ``analytics.campaign_metrics``) reflects
+    the most recently *started* campaign -- it is reset when
+    ``run_campaign`` begins.  Campaigns that must keep their task
+    bookkeeping apart should use separate runners (they may still share
+    one :class:`SubmissionWindow` for global backpressure).
+    """
+
+    def __init__(self, session, task_manager: TaskManager,
+                 window: Optional[int] = None) -> None:
+        self.session = session
+        self.tmgr = task_manager
+        self.window: Optional[SubmissionWindow] = (
+            SubmissionWindow(session.engine, window)
+            if window is not None else None)
+        #: "graph/node" -> tasks submitted through the campaign's tracked
+        #: paths (feeds analytics.campaign_metrics overlap/idle accounting)
+        self.node_tasks: Dict[str, List[Task]] = {}
+
+    # -- submission ----------------------------------------------------------------
+    def submit(self, descriptions: List[TaskDescription],
+               node: str = "") -> List[Task]:
+        """Submit descriptions under the campaign's backpressure window."""
+        if not descriptions:
+            return []
+        tasks = self.tmgr.submit_tasks(descriptions, window=self.window)
+        if node:
+            self.node_tasks.setdefault(node, []).extend(tasks)
+        return tasks
+
+    def submit_and_wait(self, descriptions: List[TaskDescription],
+                        failure_tolerance: float = 0.0, node: str = ""):
+        """Process body: run a bag of tasks, return the finished tasks.
+
+        Only tasks that *finished* in a non-DONE state count against the
+        tolerance; tasks parked in recovery (RESCHEDULING) never reach
+        this check because their completion event has not fired yet.
+        """
+        if not descriptions:
+            return []
+        tasks = self.submit(descriptions, node=node)
+        yield self.tmgr.wait_tasks(tasks)
+        failed = failed_tasks(tasks)
+        if len(failed) > failure_tolerance * len(tasks):
+            first = failed[0]
+            raise StageFailure(
+                f"{len(failed)}/{len(tasks)} tasks failed "
+                f"(first: {first.uid}: {first.exception})")
+        return tasks
+
+    @property
+    def tasks(self) -> List[Task]:
+        """Every task submitted through the campaign's tracked paths."""
+        return [t for tasks in self.node_tasks.values() for t in tasks]
+
+    # -- campaign execution --------------------------------------------------------
+    def run_campaign(self,
+                     graphs: Union[CampaignGraph, Sequence[CampaignGraph]],
+                     contexts: Union[None, Dict[str, Any],
+                                     Sequence[Dict[str, Any]]] = None,
+                     checkpoint_key: str = "",
+                     checkpoint_bytes: Optional[float] = None,
+                     uid: Optional[str] = None,
+                     events: Tuple[str, str, str, str] = (
+                         "node_start", "node_stop",
+                         "campaign_start", "campaign_stop")):
+        """Process body: stream every graph to completion; returns contexts.
+
+        Nodes are submitted the moment their dependencies complete; nodes
+        of *different* graphs interleave freely on the shared allocation.
+        Returns the single context when called with a single graph, else
+        the list of contexts in graph order.  The first node failure is
+        re-raised (after every reachable node settled); nodes downstream
+        of a failure are skipped, *siblings keep streaming*.
+
+        With *checkpoint_key* on a resilient session, the campaign
+        persists **frontier checkpoints** through the session's
+        :class:`~repro.resilience.recovery.Checkpointer`: the set of
+        completed nodes plus per-graph context snapshots, saved on the
+        checkpoint policy's cadence counted in *completed nodes* (the
+        final frontier always persists).  A re-run under the same key
+        marks the checkpointed nodes done up front and replays only the
+        items that were still in flight.  *checkpoint_bytes* is charged
+        **per newly completed node** in each save (delta accounting), so
+        fine-grained graphs pay for what each checkpoint adds, not for
+        the whole campaign state every time.  Snapshots are shallow
+        context copies -- nodes stashing live Task handles should keep
+        collected *values* in the context too if they must survive a
+        cross-session restart.
+        """
+        single = isinstance(graphs, CampaignGraph)
+        graphs = [graphs] if single else list(graphs)
+        if not graphs:
+            raise ValueError("run_campaign needs at least one graph")
+        names = [g.name for g in graphs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate graph names in campaign: {names}")
+        if isinstance(contexts, dict):
+            contexts = [contexts]
+        contexts = (list(contexts) if contexts is not None
+                    else [{} for _ in graphs])
+        if len(contexts) != len(graphs):
+            raise ValueError("contexts must align with graphs")
+
+        engine = self.session.engine
+        profiler = self.session.profiler
+        uid = uid or self.session.ids.generate("campaign")
+        node_start, node_stop, start_event, stop_event = events
+
+        self.node_tasks = {}
+        run = _CampaignRun({g.name: _GraphState(g, ctx, engine)
+                            for g, ctx in zip(graphs, contexts)})
+        self._restore_frontier(run, checkpoint_key, checkpoint_bytes)
+
+        profiler.record(engine.now, uid, start_event, "workflow")
+        log.info("campaign %s: %d graph(s), %d node(s) at t=%.1f", uid,
+                 len(graphs), sum(len(g) for g in graphs), engine.now)
+        procs = []
+        for graph in graphs:
+            state = run.states[graph.name]
+            prefix = uid if single else f"{uid}.{graph.name}"
+            for name in graph.topological_order():
+                if state.status.get(name) == "done":
+                    continue  # restored from the checkpoint frontier
+                procs.append(engine.process(self._run_node(
+                    run, state, graph.nodes[name], f"{prefix}.{name}",
+                    node_start, node_stop)))
+        try:
+            if procs:
+                yield engine.all_of(procs)
+        except Interrupt:
+            for proc in procs:
+                if proc.is_alive:
+                    proc.interrupt("campaign interrupted")
+            raise
+        if run.ckpt is not None and run.completed_since_save:
+            yield from self._save_frontier(run)
+        failures = [exc for state in run.states.values()
+                    for exc in state.failures]
+        if failures:
+            raise failures[0]
+        profiler.record(engine.now, uid, stop_event, "workflow")
+        return contexts[0] if single else contexts
+
+    def _run_node(self, run: _CampaignRun, state: _GraphState,
+                  node: TaskNode, node_uid: str,
+                  start_event: str, stop_event: str):
+        """Per-node process: wait for inputs, execute, settle the node."""
+        engine = self.session.engine
+        profiler = self.session.profiler
+        graph = state.graph
+        done = state.done[node.name]
+        key = f"{graph.name}/{node.name}"
+        try:
+            if node.deps:
+                yield engine.all_of([state.done[d] for d in node.deps])
+            if any(state.status.get(d) != "done" for d in node.deps):
+                state.status[node.name] = "skipped"
+                done.succeed("skipped")
+                return
+            profiler.record(engine.now, node_uid, start_event, "workflow")
+            log.info("%s: node %s ready at t=%.1f", graph.name, node.name,
+                     engine.now)
+            if node.run is not None:
+                yield from node.run(NodeRunner(self, key), state.context)
+            else:
+                descriptions = node.build(state.context)
+                tasks = yield from self.submit_and_wait(
+                    descriptions, node.failure_tolerance, node=key)
+                if node.collect is not None:
+                    node.collect(state.context, tasks)
+            state.status[node.name] = "done"
+            profiler.record(engine.now, node_uid, stop_event, "workflow")
+            # settle *before* checkpointing: dependents stream while the
+            # frontier save's transfer is still crossing the fabric
+            done.succeed("done")
+            run.completed_total += 1
+            run.completed_since_save += 1
+            if run.ckpt is not None \
+                    and run.ckpt.due(run.completed_total - 1):
+                yield from self._save_frontier(run)
+        except Interrupt:
+            # Campaign torn down mid-node (or mid-save): settle without
+            # re-raising so the dead coordinator's teammates unwind instead
+            # of crashing the engine with an unhandled process failure.
+            state.status.setdefault(node.name, "aborted")
+            if not done.triggered:
+                done.succeed("aborted")
+        except Exception as exc:
+            state.status[node.name] = "failed"
+            state.failures.append(exc)
+            profiler.record(engine.now, node_uid, stop_event, "workflow")
+            log.warning("%s: node %s failed: %s", graph.name, node.name, exc)
+            if not done.triggered:
+                done.succeed("failed")
+
+    # -- frontier checkpoints --------------------------------------------------------
+    def _restore_frontier(self, run: _CampaignRun, checkpoint_key: str,
+                          checkpoint_bytes: Optional[float]) -> None:
+        run.ckpt_bytes = checkpoint_bytes
+        if not checkpoint_key:
+            return
+        resilience = self.session.resilience
+        if resilience is None:
+            return
+        run.ckpt = resilience.checkpoints
+        run.ckpt_key = f"{checkpoint_key}/frontier"
+        saved = run.ckpt.latest(run.ckpt_key)
+        if saved is None:
+            return
+        index, payload = saved
+        run.save_index = index + 1
+        for gname, completed in payload["completed"].items():
+            state = run.states.get(gname)
+            if state is None:
+                continue  # campaign composition changed between runs
+            state.context.update(payload["contexts"].get(gname, {}))
+            for name in completed:
+                if name in state.done:
+                    state.status[name] = "done"
+                    state.done[name].succeed("done")
+                    run.completed_total += 1
+        log.info("campaign restored frontier %d: %d node(s) skipped",
+                 index, run.completed_total)
+
+    @staticmethod
+    def _frontier_payload(run: _CampaignRun) -> Dict[str, Any]:
+        return {
+            "completed": {name: [n for n in state.graph.topological_order()
+                                 if state.status.get(n) == "done"]
+                          for name, state in run.states.items()},
+            "contexts": {name: dict(state.context)
+                         for name, state in run.states.items()},
+        }
+
+    def _save_frontier(self, run: _CampaignRun):
+        """Process body: persist the frontier (serialized, latest wins).
+
+        Concurrent node completions coalesce: while one save's transfer is
+        in flight, further completions only mark the frontier dirty, and
+        the in-flight saver loops until clean -- the store never ends up
+        holding an older frontier than the latest completed one.
+        """
+        run.dirty = True
+        if run.saving:
+            return
+        run.saving = True
+        try:
+            while run.dirty:
+                run.dirty = False
+                delta = run.completed_since_save
+                run.completed_since_save = 0
+                nbytes = (run.ckpt_bytes * delta
+                          if run.ckpt_bytes is not None else None)
+                yield from run.ckpt.save(
+                    run.ckpt_key, run.save_index,
+                    self._frontier_payload(run), nbytes=nbytes)
+                run.save_index += 1
+        finally:
+            run.saving = False

@@ -27,14 +27,15 @@ import numpy as np
 
 from ..pilot.description import TaskDescription
 from ..pilot.states import TaskState
+from .campaign import CampaignGraph
 from .dag import Pipeline, StageFailure, StageSpec, WorkflowRunner
 from .hpo import FloatParam, IntParam, RandomSampler, SearchSpace, Study, TpeSampler
 from .imaging import DOSE_LEVELS_GY, augment, extract_features, generate_dataset
 from .mlp import MLPClassifier, MLPConfig
 
 __all__ = ["CellPaintingConfig", "CellPaintingResult",
-           "build_cell_painting_pipeline", "prepare_shard", "run_trial",
-           "HPO_SPACE"]
+           "build_cell_painting_pipeline", "build_cell_painting_campaign",
+           "prepare_shard", "run_trial", "HPO_SPACE"]
 
 
 @dataclass
@@ -298,3 +299,19 @@ def build_cell_painting_pipeline(
                   resource_type="GPU", as_service=True,
                   run=run_training_stage),
     ])
+
+
+def build_cell_painting_campaign(
+        config: Optional[CellPaintingConfig] = None) -> CampaignGraph:
+    """The campaign-native form of the pipeline.
+
+    Cell Painting already streams *internally*: the data stage returns as
+    soon as ``min_shards_to_train`` shards exist, and the HPO stage folds
+    later shards in round by round -- its "barrier" was always a
+    threshold, not a full stage wait.  The campaign form therefore keeps
+    the same two custom nodes (lowered from the pipeline's linear chain)
+    and its value is *composition*: the graph can run inside one campaign
+    alongside other workflow graphs, sharing the allocation, the
+    backpressure window and the frontier checkpoints.
+    """
+    return build_cell_painting_pipeline(config).to_graph()

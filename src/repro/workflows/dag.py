@@ -1,36 +1,48 @@
-"""Pipeline/Stage workflow abstraction (the EnTK-like orchestration layer).
+"""Barrier-pipeline compatibility shim over the streaming campaign engine.
 
-The paper assumes "workflow or pipeline applications are described via
-workflow management systems" sitting above the runtime (§III, Fig. 1).
-This module is that thin layer: a :class:`Pipeline` is an ordered list of
-:class:`StageSpec` objects, each either *declarative* (build task
-descriptions from the running context, collect results back into it) or
-*custom* (a generator taking over the stage for dynamic behaviours such as
-iterative HPO or data/training overlap).
+Historically this module *was* the workflow layer: ``run_pipeline``
+barriered on ``wait_tasks`` over each stage's whole bag before building
+the next stage.  The execution model now lives in
+:mod:`repro.workflows.campaign` -- a dependency-driven dataflow engine --
+and this module is the thin compatibility layer on top of it:
 
-Stages carry the Table-I metadata (resource type, service enablement) so
-the Table-I benchmark can report the use-case structure directly from the
-pipeline definitions.
+* :class:`StageSpec` / :class:`Pipeline` keep the declarative
+  stage-sequence API (and the Table-I metadata);
+* :meth:`Pipeline.to_graph` lowers a pipeline to the equivalent linear
+  :class:`~repro.workflows.campaign.CampaignGraph` (stage *k+1* depends
+  on stage *k*, so the barrier semantics are preserved exactly);
+* :class:`WorkflowRunner` delegates to a :class:`CampaignRunner`, keeping
+  the historical entry points (``run_pipeline``, ``submit_and_wait``),
+  profiler event names (``pipeline_start``/``stage_start``/...) and
+  checkpoint behaviour (now frontier checkpoints at stage granularity).
+
+New code should build :class:`~repro.workflows.campaign.CampaignGraph`
+objects directly (per-item nodes, explicit dependencies) and run them
+through :class:`~repro.workflows.campaign.CampaignRunner` -- streaming
+recovers the concurrency the stage barrier destroys.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..pilot.description import TaskDescription
-from ..pilot.states import TaskState
 from ..pilot.task import Task
 from ..pilot.task_manager import TaskManager
 from ..utils.log import get_logger
+from .campaign import (
+    CampaignGraph,
+    CampaignRunner,
+    StageFailure,
+    TaskNode,
+    failed_tasks,
+)
 
-__all__ = ["StageSpec", "Pipeline", "WorkflowRunner", "StageFailure"]
+__all__ = ["StageSpec", "Pipeline", "WorkflowRunner", "StageFailure",
+           "failed_tasks"]
 
 log = get_logger("workflows.dag")
-
-
-class StageFailure(Exception):
-    """Raised when a stage's tasks fail beyond the allowed tolerance."""
 
 
 @dataclass
@@ -64,6 +76,14 @@ class StageSpec:
         if not 0 <= self.failure_tolerance <= 1:
             raise ValueError("failure_tolerance must be in [0, 1]")
 
+    def to_node(self, deps: tuple = ()) -> TaskNode:
+        """The equivalent campaign node (same bag, explicit deps)."""
+        return TaskNode(
+            name=self.name, deps=deps, resource_type=self.resource_type,
+            as_service=self.as_service, build=self.build,
+            collect=self.collect, run=self.run,
+            failure_tolerance=self.failure_tolerance)
+
 
 @dataclass
 class Pipeline:
@@ -79,6 +99,22 @@ class Pipeline:
         if len(set(names)) != len(names):
             raise ValueError(f"pipeline {self.name!r}: duplicate stage names")
 
+    def to_graph(self) -> CampaignGraph:
+        """Lower to the equivalent linear campaign graph.
+
+        Stage *k+1* depends on stage *k*: executed by the campaign engine
+        this reproduces the barrier semantics exactly (each stage's whole
+        bag completes before the next stage builds), which is what pins
+        the compatibility shim's correctness.
+        """
+        nodes: List[TaskNode] = []
+        previous: Optional[str] = None
+        for stage in self.stages:
+            nodes.append(stage.to_node(
+                deps=(previous,) if previous is not None else ()))
+            previous = stage.name
+        return CampaignGraph(name=self.name, nodes=nodes)
+
     def table_rows(self) -> List[Dict[str, Any]]:
         """Table-I style rows: stage -> resource type -> service flag."""
         return [{
@@ -90,27 +126,24 @@ class Pipeline:
 
 
 class WorkflowRunner:
-    """Executes pipelines on a session via a TaskManager."""
+    """Compatibility facade: barrier-pipeline API on the campaign engine."""
 
     def __init__(self, session, task_manager: TaskManager) -> None:
         self.session = session
         self.tmgr = task_manager
+        self._campaign = CampaignRunner(session, task_manager)
 
     # -- helpers usable from custom stage generators ------------------------------
     def submit_and_wait(self, descriptions: List[TaskDescription],
                         failure_tolerance: float = 0.0):
-        """Process body: run a bag of tasks, return the finished tasks."""
-        if not descriptions:
-            return []
-        tasks = self.tmgr.submit_tasks(descriptions)
-        yield self.tmgr.wait_tasks(tasks)
-        failed = [t for t in tasks if t.state != TaskState.DONE]
-        if len(failed) > failure_tolerance * len(tasks):
-            first = failed[0]
-            raise StageFailure(
-                f"{len(failed)}/{len(tasks)} tasks failed "
-                f"(first: {first.uid}: {first.exception})")
-        return tasks
+        """Process body: run a bag of tasks, return the finished tasks.
+
+        Only tasks that *finished* in a non-DONE state count against the
+        tolerance -- a task parked in recovery (RESCHEDULING) has not
+        completed and is not a stage failure yet.
+        """
+        return (yield from self._campaign.submit_and_wait(
+            descriptions, failure_tolerance))
 
     # -- pipeline execution ----------------------------------------------------------
     def run_pipeline(self, pipeline: Pipeline,
@@ -119,57 +152,26 @@ class WorkflowRunner:
                      checkpoint_bytes: Optional[float] = None):
         """Process body: run stages in order; returns the final context.
 
+        A thin shim: the pipeline is lowered to its linear campaign graph
+        and handed to the streaming engine, which on a chain reproduces
+        the historical stage-barrier execution order exactly.
+
         With *checkpoint_key* and the session's resilience subsystem
-        enabled, every completed stage persists a context snapshot through
-        the :class:`~repro.resilience.recovery.Checkpointer`: re-running
-        the same pipeline under the same key (after a crash, in the same
-        or a successor session sharing the checkpoint store) skips the
-        already-completed stages and replays only lost work.  Snapshots
-        are shallow context copies -- stages that stash live Task handles
-        should keep their collected *values* in the context too if they
-        are meant to survive a cross-session restart.
+        enabled, the campaign engine persists frontier checkpoints (the
+        completed-stage set plus a shallow context snapshot) through the
+        :class:`~repro.resilience.recovery.Checkpointer`: re-running the
+        same pipeline under the same key (after a crash, in the same or a
+        successor session sharing the checkpoint store) skips the
+        already-completed stages and replays only lost work.  Stages that
+        stash live Task handles should keep their collected *values* in
+        the context too if they are meant to survive a cross-session
+        restart.
         """
         context = context if context is not None else {}
-        profiler = self.session.profiler
-        engine = self.session.engine
-        uid = f"pipeline.{pipeline.name}"
-        checkpoints = None
-        first_stage = 0
-        if checkpoint_key:
-            resilience = self.session.resilience
-            if resilience is not None:
-                checkpoints = resilience.checkpoints
-                saved = checkpoints.latest(f"{checkpoint_key}/stages")
-                if saved is not None:
-                    stage_index, snapshot = saved
-                    first_stage = stage_index + 1
-                    context.update(snapshot)
-                    log.info("%s: restored checkpoint, resuming at stage "
-                             "%d/%d", pipeline.name, first_stage,
-                             len(pipeline.stages))
-        profiler.record(engine.now, uid, "pipeline_start", "workflow")
-        for index, stage in enumerate(pipeline.stages):
-            if index < first_stage:
-                continue  # completed before the restart: replay skipped
-            stage_uid = f"{uid}.{stage.name}"
-            profiler.record(engine.now, stage_uid, "stage_start", "workflow")
-            log.info("%s: stage %s starting at t=%.1f", pipeline.name,
-                     stage.name, engine.now)
-            if stage.run is not None:
-                yield from stage.run(self, context)
-            else:
-                descriptions = stage.build(context)
-                tasks = yield from self.submit_and_wait(
-                    descriptions, stage.failure_tolerance)
-                if stage.collect is not None:
-                    stage.collect(context, tasks)
-            profiler.record(engine.now, stage_uid, "stage_stop", "workflow")
-            # save on the policy's cadence; the final stage always persists
-            if checkpoints is not None and \
-                    (checkpoints.due(index)
-                     or index == len(pipeline.stages) - 1):
-                yield from checkpoints.save(
-                    f"{checkpoint_key}/stages", index, dict(context),
-                    nbytes=checkpoint_bytes)
-        profiler.record(engine.now, uid, "pipeline_stop", "workflow")
-        return context
+        result = yield from self._campaign.run_campaign(
+            pipeline.to_graph(), contexts=context,
+            checkpoint_key=checkpoint_key, checkpoint_bytes=checkpoint_bytes,
+            uid=f"pipeline.{pipeline.name}",
+            events=("stage_start", "stage_stop",
+                    "pipeline_start", "pipeline_stop"))
+        return result

@@ -25,6 +25,7 @@ import numpy as np
 from ..comm.message import Address
 from ..pilot.description import TaskDescription
 from ..pilot.states import TaskState
+from .campaign import CampaignGraph, TaskNode
 from .dag import Pipeline, StageSpec, WorkflowRunner
 from .dose_response import DoseResponseFit, fit_hill, fit_linear
 from .pathways import EnrichmentResult, PathwayDatabase, enrich
@@ -32,7 +33,8 @@ from .vcf import generate_vcf, parse_vcf, transition_fraction, write_vcf
 from .vep import GeneModel, VepAnnotator
 
 __all__ = ["SignatureConfig", "SignatureResult", "SampleAnnotation",
-           "build_signature_pipeline", "prepare_sample", "enrich_sample"]
+           "build_signature_pipeline", "build_signature_campaign",
+           "prepare_sample", "enrich_sample"]
 
 
 @dataclass
@@ -171,51 +173,9 @@ def build_signature_pipeline(
                                   if t.state == TaskState.DONE]
 
     def run_stage3(runner: WorkflowRunner, context: Dict[str, Any]):
-        annotations: List[SampleAnnotation] = context["annotations"]
-        enrichments: List[List[EnrichmentResult]] = context["enrichments"]
-
-        significant = {
-            a.sample_id: [r.pathway for r in results if r.significant]
-            for a, results in zip(annotations, enrichments)}
-        # "Recovered" radiation pathways: significant in the top-dose half.
-        median_dose = float(np.median([a.dose_gy for a in annotations]))
-        recovered: Set[str] = set()
-        for a, results in zip(annotations, enrichments):
-            if a.dose_gy > median_dose:
-                recovered |= {r.pathway for r in results
-                              if r.significant and
-                              r.pathway.startswith("RADIATION_RESPONSE")}
-
-        xs = [a.dose_gy for a in annotations]
-        ys = [a.ct_fraction for a in annotations]
-        linear = fit_linear(xs, ys)
-        hill = fit_hill(xs, ys)
-
-        summaries: List[str] = []
-        if llm_targets:
-            from ..core.client import ServiceClient  # avoid import cycle
-            client = ServiceClient(runner.session, platform=client_platform)
-            top = sorted(recovered) or ["none"]
-            prompt = (
-                "compare mutational signatures across radiation doses : "
-                f"ct fraction rises from {min(ys):.2f} to {max(ys):.2f} ; "
-                f"enriched pathways {' , '.join(top)}")
-            for i, target in enumerate(llm_targets):
-                result = yield from client.infer(
-                    target, prompt, params={"max_tokens": 48})
-                summaries.append(result.text)
-
-        context["result"] = SignatureResult(
-            annotations=annotations,
-            significant_by_sample=significant,
-            recovered_radiation_pathways=sorted(recovered),
-            planted_radiation_pathways=list(database.radiation_pathways),
-            linear_fit=linear,
-            hill_fit=hill,
-            llm_summaries=summaries,
-        )
-        return
-        yield  # pragma: no cover - make this a generator even if no LLM calls
+        yield from analyse_signatures(
+            runner, context, context["annotations"], context["enrichments"],
+            database, llm_targets, client_platform)
 
     return Pipeline(name="signature-detection", stages=[
         StageSpec(name="data-preparation", resource_type="CPU",
@@ -227,3 +187,123 @@ def build_signature_pipeline(
         StageSpec(name="llm-signature-comparison", resource_type="GPU",
                   as_service=True, run=run_stage3),
     ])
+
+
+def analyse_signatures(runner, context: Dict[str, Any],
+                       annotations: List[SampleAnnotation],
+                       enrichments: List[List[EnrichmentResult]],
+                       database: PathwayDatabase,
+                       llm_targets: Optional[Sequence[Address]],
+                       client_platform: str):
+    """Process body shared by the barrier and campaign forms of stage 3."""
+    significant = {
+        a.sample_id: [r.pathway for r in results if r.significant]
+        for a, results in zip(annotations, enrichments)}
+    # "Recovered" radiation pathways: significant in the top-dose half.
+    median_dose = float(np.median([a.dose_gy for a in annotations]))
+    recovered: Set[str] = set()
+    for a, results in zip(annotations, enrichments):
+        if a.dose_gy > median_dose:
+            recovered |= {r.pathway for r in results
+                          if r.significant and
+                          r.pathway.startswith("RADIATION_RESPONSE")}
+
+    xs = [a.dose_gy for a in annotations]
+    ys = [a.ct_fraction for a in annotations]
+    linear = fit_linear(xs, ys)
+    hill = fit_hill(xs, ys)
+
+    summaries: List[str] = []
+    if llm_targets:
+        from ..core.client import ServiceClient  # avoid import cycle
+        client = ServiceClient(runner.session, platform=client_platform)
+        top = sorted(recovered) or ["none"]
+        prompt = (
+            "compare mutational signatures across radiation doses : "
+            f"ct fraction rises from {min(ys):.2f} to {max(ys):.2f} ; "
+            f"enriched pathways {' , '.join(top)}")
+        for i, target in enumerate(llm_targets):
+            result = yield from client.infer(
+                target, prompt, params={"max_tokens": 48})
+            summaries.append(result.text)
+
+    context["result"] = SignatureResult(
+        annotations=annotations,
+        significant_by_sample=significant,
+        recovered_radiation_pathways=sorted(recovered),
+        planted_radiation_pathways=list(database.radiation_pathways),
+        linear_fit=linear,
+        hill_fit=hill,
+        llm_summaries=summaries,
+    )
+    return
+    yield  # pragma: no cover - make this a generator even if no LLM calls
+
+
+def build_signature_campaign(
+        config: Optional[SignatureConfig] = None,
+        llm_targets: Optional[Sequence[Address]] = None,
+        client_platform: str = "delta") -> CampaignGraph:
+    """The campaign-native (streaming) form of the pipeline.
+
+    Each sample is its own two-node dataflow chain ``prep-i -> enrich-i``:
+    a sample's pathway enrichment starts the moment *its* annotation
+    lands, while slower samples are still generating VCFs -- the stage
+    barrier that made every enrichment wait for the slowest preparation
+    is gone.  The final ``analysis`` node depends on every enrichment
+    (dose-response fits need the full dose series).
+    """
+    config = config or SignatureConfig()
+    config.validate()
+    doses = sample_doses(config)
+    database = PathwayDatabase.synthesise(
+        n_genes=config.n_genes, n_pathways=config.n_pathways,
+        seed=config.seed)
+    nodes: List[TaskNode] = []
+
+    def make_sample_nodes(i: int, dose: float) -> List[TaskNode]:
+        def build_prep(context: Dict[str, Any]) -> List[TaskDescription]:
+            return [TaskDescription(
+                name=f"sig-prep-{i}", function=prepare_sample,
+                fn_args=(i, dose, config), cores_per_rank=1)]
+
+        def collect_prep(context: Dict[str, Any], tasks) -> None:
+            context.setdefault("annotations_by_sample", {})[i] = \
+                tasks[0].result
+
+        def build_enrich(context: Dict[str, Any]) -> List[TaskDescription]:
+            annotation = context["annotations_by_sample"][i]
+            return [TaskDescription(
+                name=f"sig-enrich-{annotation.sample_id}",
+                function=enrich_sample,
+                fn_args=(annotation, database, config), cores_per_rank=1)]
+
+        def collect_enrich(context: Dict[str, Any], tasks) -> None:
+            context.setdefault("enrichments_by_sample", {})[i] = \
+                tasks[0].result
+
+        return [
+            TaskNode(name=f"prep-{i}", resource_type="CPU", as_service=True,
+                     build=build_prep, collect=collect_prep),
+            TaskNode(name=f"enrich-{i}", deps=(f"prep-{i}",),
+                     resource_type="CPU", build=build_enrich,
+                     collect=collect_enrich),
+        ]
+
+    for i, dose in enumerate(doses):
+        nodes.extend(make_sample_nodes(i, dose))
+
+    def run_analysis(runner, context: Dict[str, Any]):
+        order = sorted(context["annotations_by_sample"])
+        annotations = [context["annotations_by_sample"][i] for i in order]
+        enrichments = [context["enrichments_by_sample"][i] for i in order]
+        context["annotations"] = annotations
+        context["enrichments"] = enrichments
+        yield from analyse_signatures(
+            runner, context, annotations, enrichments, database,
+            llm_targets, client_platform)
+
+    nodes.append(TaskNode(
+        name="analysis", deps=tuple(f"enrich-{i}" for i in range(len(doses))),
+        resource_type="GPU", as_service=True, run=run_analysis))
+    return CampaignGraph(name="signature-detection", nodes=nodes)

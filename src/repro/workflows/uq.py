@@ -25,12 +25,14 @@ import numpy as np
 
 from ..pilot.description import TaskDescription
 from ..pilot.states import TaskState
+from .campaign import CampaignGraph, TaskNode
 from .dag import Pipeline, StageSpec, WorkflowRunner
 from .generator_data import make_qa_dataset
 from .uq_methods import UQMetrics, UQ_METHODS, create_uq_method, evaluate_probs
 
 __all__ = ["UQConfig", "UQCellResult", "UQSummaryRow", "UQResult",
-           "build_uq_pipeline", "featurize", "run_uq_cell"]
+           "build_uq_pipeline", "build_uq_campaign", "featurize",
+           "run_uq_cell"]
 
 
 @dataclass
@@ -263,6 +265,88 @@ def build_uq_pipeline(config: Optional[UQConfig] = None) -> Pipeline:
                   as_service=True, build=build_stage3,
                   collect=collect_stage3),
     ])
+
+
+def build_uq_campaign(config: Optional[UQConfig] = None) -> CampaignGraph:
+    """The campaign-native (streaming) form of the UQ pipeline.
+
+    Each base model owns an independent dataflow subtree: its feature
+    preparation node feeds that model's (seed x method) grid-cell nodes,
+    so llama's UQ fits start the moment llama's features land even while
+    mistral's preparation is still running -- the three-level parallelism
+    of §II-C without the stage barrier between levels.  ``aggregate``
+    depends on every cell (the comparison summary needs the full grid).
+
+    Running this graph with ``run_campaign(checkpoint_key=...)`` on a
+    resilient session gives *per-cell* restart granularity through the
+    campaign's frontier checkpoints -- finer than the chunked
+    ``checkpoint_chunk`` stage of the barrier pipeline.
+    """
+    config = config or UQConfig()
+    config.validate()
+    nodes: List[TaskNode] = []
+    grid = [(model, seed, method)
+            for model in config.models
+            for seed in config.seeds
+            for method in config.methods]
+
+    def make_data_node(model: str) -> TaskNode:
+        def build(context: Dict[str, Any]) -> List[TaskDescription]:
+            return [TaskDescription(
+                name=f"uq-data-{model}", function=prepare_model_data,
+                fn_args=(model, config), cores_per_rank=1)]
+
+        def collect(context: Dict[str, Any], tasks) -> None:
+            context.setdefault("data", {})[model] = tasks[0].result
+
+        return TaskNode(name=f"data-{model}", resource_type="CPU",
+                        as_service=True, build=build, collect=collect)
+
+    def make_cell_node(model: str, seed: int, method: str) -> TaskNode:
+        key = (model, method, seed)
+
+        def build(context: Dict[str, Any]) -> List[TaskDescription]:
+            return [TaskDescription(
+                name=f"uq-{model}-{method}-s{seed}", function=run_uq_cell,
+                fn_args=(model, method, seed, context["data"][model]),
+                cores_per_rank=1, gpus_per_rank=1)]
+
+        def collect(context: Dict[str, Any], tasks) -> None:
+            context.setdefault("cell_results", {})[key] = tasks[0].result
+
+        return TaskNode(name=f"cell-{model}-{method}-s{seed}",
+                        deps=(f"data-{model}",), resource_type="GPU",
+                        build=build, collect=collect)
+
+    for model in config.models:
+        nodes.append(make_data_node(model))
+    for model, seed, method in grid:
+        nodes.append(make_cell_node(model, seed, method))
+
+    def ordered_cells(context: Dict[str, Any]) -> List[UQCellResult]:
+        results = context["cell_results"]
+        return [results[(model, method, seed)]
+                for model, seed, method in grid
+                if (model, method, seed) in results]
+
+    def build_aggregate(context: Dict[str, Any]) -> List[TaskDescription]:
+        context["cells"] = ordered_cells(context)
+        return [TaskDescription(
+            name="uq-aggregate", function=aggregate_cells,
+            fn_args=(context["cells"],), cores_per_rank=1, gpus_per_rank=1)]
+
+    def collect_aggregate(context: Dict[str, Any], tasks) -> None:
+        (task,) = tasks
+        context["result"] = UQResult(cells=context["cells"],
+                                     summary=task.result)
+
+    nodes.append(TaskNode(
+        name="aggregate",
+        deps=tuple(f"cell-{model}-{method}-s{seed}"
+                   for model, seed, method in grid),
+        resource_type="GPU", as_service=True, build=build_aggregate,
+        collect=collect_aggregate))
+    return CampaignGraph(name="uncertainty-quantification", nodes=nodes)
 
 
 def aggregate_cells(cells: List[UQCellResult]) -> List[UQSummaryRow]:

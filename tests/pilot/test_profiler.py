@@ -124,3 +124,57 @@ class TestTiers:
             assert len(s.profiler) == 0
         with Session(profile="durations") as s:
             assert s.profiler.level == "durations"
+
+
+class TestRetention:
+    def test_bound_retention_keeps_oldest(self):
+        p = Profiler(max_rows=3)
+        for i in range(5):
+            p.record(float(i), f"t{i}", "ev")
+        assert [r.uid for r in p.events()] == ["t0", "t1", "t2"]
+        assert p.dropped == 2
+        assert p.recorded == 5
+
+    def test_ring_retention_keeps_newest(self):
+        p = Profiler(max_rows=3, retention="ring")
+        for i in range(5):
+            p.record(float(i), f"t{i}", "ev")
+        assert [r.uid for r in p.events()] == ["t2", "t3", "t4"]
+        assert p.dropped == 2
+        assert p.recorded == 5
+        assert len(p) == 3
+
+    def test_ring_uid_and_event_queries_scan_the_window(self):
+        p = Profiler(max_rows=4, retention="ring")
+        for i in range(6):
+            p.record(float(i), f"t{i % 2}", "a" if i % 3 else "b")
+        assert [r.time for r in p.events(uid="t0")] == [2.0, 4.0]
+        assert [r.time for r in p.events(uid="t1", event="a")] == [5.0]
+
+    def test_ring_keeps_first_timestamps_for_durations(self):
+        """Evictions only affect row queries: the durations store still
+        answers with the *first* occurrence, as in every tier."""
+        p = Profiler(max_rows=2, retention="ring")
+        p.record(1.0, "t", "start")
+        p.record(9.0, "t", "stop")
+        p.record(11.0, "t", "start")   # evicts the 1.0 row
+        assert p.timestamp("t", "start") == 1.0
+        assert p.duration("t", "start", "stop") == 8.0
+
+    def test_ring_without_max_rows_is_unbounded(self):
+        p = Profiler(retention="ring")
+        for i in range(10):
+            p.record(float(i), "t", f"e{i}")
+        assert len(p) == 10
+        assert p.dropped == 0
+
+    def test_retention_validation(self):
+        import pytest
+        with pytest.raises(ValueError, match="retention"):
+            Profiler(retention="lifo")
+
+    def test_clear_resets_ring(self):
+        p = Profiler(max_rows=2, retention="ring")
+        p.record(1.0, "t", "a")
+        p.clear()
+        assert len(p) == 0 and p.recorded == 0

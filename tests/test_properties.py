@@ -595,3 +595,195 @@ def test_rt_decomposition_adds_up(data):
     assert result.communication == pytest.approx(leg1 + leg2)
     assert result.inference_time == pytest.approx(infer)
     assert result.queue_time == pytest.approx(queue)
+
+
+# ---------------------------------------------------------------------------
+# Streaming campaign engine (workflows.campaign)
+# ---------------------------------------------------------------------------
+
+def _campaign_env(seed=11):
+    """Session + pilot + TaskManager for one property example."""
+    from repro.pilot import PilotDescription, PilotManager, TaskManager
+    session = Session(seed=seed)
+    pmgr = PilotManager(session)
+    tmgr = TaskManager(session)
+    (pilot,) = pmgr.submit_pilots(
+        PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+    tmgr.add_pilots(pilot)
+    return session, tmgr
+
+
+@st.composite
+def _dag_specs(draw):
+    """A random DAG: nodes 0..n-1, edges only i -> j with i < j (acyclic
+    by construction), one modeled-duration task per node."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    edges = []
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                edges.append((i, j))
+    durations = draw(st.lists(
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        min_size=n, max_size=n))
+    return n, edges, durations
+
+
+def _dag_graph(n, edges, durations):
+    """Build the campaign graph; collects a value that is a deterministic
+    function of the DAG shape, and each node's task uid for timestamp
+    checks."""
+    from repro.workflows import CampaignGraph, TaskNode
+
+    nodes = []
+    for i in range(n):
+        deps = tuple(f"n{u}" for (u, v) in edges if v == i)
+
+        def build(ctx, i=i):
+            return [TaskDescription(name=f"dag-{i}", executable="sim",
+                                    duration_s=float(durations[i]))]
+
+        def collect(ctx, tasks, i=i, deps=deps):
+            ctx[f"val{i}"] = 1 + sum(ctx[f"val{d[1:]}"] for d in deps)
+            ctx.setdefault("uids", {})[i] = tasks[0].uid
+
+        nodes.append(TaskNode(name=f"n{i}", deps=deps, build=build,
+                              collect=collect))
+    return CampaignGraph(name="prop-dag", nodes=nodes)
+
+
+@given(spec=_dag_specs())
+@settings(max_examples=20, deadline=None)
+def test_campaign_respects_every_dependency_edge(spec):
+    """No task is even *submitted* before all of its node's inputs hit
+    their final state, and the streamed final context equals topological
+    barrier execution of the same graph."""
+    n, edges, durations = spec
+
+    # streaming execution on the campaign engine
+    session, tmgr = _campaign_env()
+    with session:
+        from repro.workflows import CampaignRunner
+        runner = CampaignRunner(session, tmgr)
+        graph = _dag_graph(n, edges, durations)
+        proc = session.engine.process(runner.run_campaign(graph))
+        streamed = session.run(until=proc)
+        prof = session.profiler
+        for u, v in edges:
+            submitted = prof.timestamp(streamed["uids"][v],
+                                       "state:TMGR_SCHEDULING")
+            upstream_done = prof.timestamp(streamed["uids"][u], "state:DONE")
+            assert submitted >= upstream_done, (
+                f"edge {u}->{v} violated: task submitted at {submitted} "
+                f"before input completed at {upstream_done}")
+
+    # reference: barrier execution in topological order (no campaign code)
+    session, tmgr = _campaign_env()
+    with session:
+        graph = _dag_graph(n, edges, durations)
+        context = {}
+
+        def barrier():
+            for name in graph.topological_order():
+                node = graph.nodes[name]
+                tasks = tmgr.submit_tasks(node.build(context))
+                yield tmgr.wait_tasks(tasks)
+                node.collect(context, tasks)
+            return context
+
+        barriered = session.run(until=session.engine.process(barrier()))
+
+    for i in range(n):
+        assert streamed[f"val{i}"] == barriered[f"val{i}"]
+
+
+@st.composite
+def _linear_pipelines(draw):
+    """A random linear pipeline: 1-4 stages, 1-3 function tasks each."""
+    n_stages = draw(st.integers(min_value=1, max_value=4))
+    widths = draw(st.lists(st.integers(min_value=1, max_value=3),
+                           min_size=n_stages, max_size=n_stages))
+    offsets = draw(st.lists(st.integers(min_value=0, max_value=100),
+                            min_size=n_stages, max_size=n_stages))
+    return widths, offsets
+
+
+def _stage_value(offset, j, upstream):
+    return offset + 3 * j + sum(upstream)
+
+
+def _linear_stages(widths, offsets):
+    from repro.workflows import StageSpec
+
+    stages = []
+    for i, (width, offset) in enumerate(zip(widths, offsets)):
+        def build(ctx, i=i, width=width, offset=offset):
+            upstream = ctx.get(f"stage{i - 1}", [])
+            return [TaskDescription(
+                name=f"s{i}t{j}", function=_stage_value,
+                fn_args=(offset, j, upstream)) for j in range(width)]
+
+        def collect(ctx, tasks, i=i):
+            ctx[f"stage{i}"] = sorted(t.result for t in tasks)
+
+        stages.append(StageSpec(name=f"stage-{i}", build=build,
+                                collect=collect))
+    return stages
+
+
+@given(spec=_linear_pipelines())
+@settings(max_examples=15, deadline=None)
+def test_campaign_shim_matches_barrier_runner_on_linear_pipelines(spec):
+    """run_pipeline (the campaign-engine shim) produces the same final
+    context as a plain submit-wait-collect barrier loop over the stages."""
+    from repro.workflows import Pipeline, WorkflowRunner
+
+    widths, offsets = spec
+
+    session, tmgr = _campaign_env()
+    with session:
+        runner = WorkflowRunner(session, tmgr)
+        pipeline = Pipeline(name="prop-linear",
+                            stages=_linear_stages(widths, offsets))
+        proc = session.engine.process(runner.run_pipeline(pipeline))
+        shimmed = session.run(until=proc)
+
+    session, tmgr = _campaign_env()
+    with session:
+        stages = _linear_stages(widths, offsets)
+        context = {}
+
+        def barrier():
+            for stage in stages:
+                tasks = tmgr.submit_tasks(stage.build(context))
+                yield tmgr.wait_tasks(tasks)
+                stage.collect(context, tasks)
+            return context
+
+        barriered = session.run(until=session.engine.process(barrier()))
+
+    for i in range(len(widths)):
+        assert shimmed[f"stage{i}"] == barriered[f"stage{i}"]
+
+
+@given(capacity=st.integers(min_value=1, max_value=8),
+       n_tasks=st.integers(min_value=1, max_value=20),
+       chunk=st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_submission_window_never_exceeds_capacity(capacity, n_tasks, chunk):
+    """Windowed submission: every task completes, the in-flight high-water
+    mark respects the window, and slots drain back to zero."""
+    from repro.pilot.task_manager import SubmissionWindow
+
+    session, tmgr = _campaign_env()
+    with session:
+        window = SubmissionWindow(session.engine, capacity)
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(name=f"w{i}", executable="sim",
+                             duration_s=float(1 + i % 3))
+             for i in range(n_tasks)],
+            chunk_size=chunk, window=window)
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert all(t.state == "DONE" for t in tasks)
+        assert window.peak <= capacity
+        assert window.in_flight == 0

@@ -1,0 +1,624 @@
+"""The streaming campaign engine: dataflow graphs, backpressure, frontier
+checkpoints, multi-graph campaigns and the ported use-case graphs."""
+
+import pytest
+
+from repro import (
+    CheckpointPolicy,
+    PilotDescription,
+    PilotManager,
+    ResilienceConfig,
+    Session,
+    TaskManager,
+)
+from repro.analytics import campaign_metrics
+from repro.pilot.description import TaskDescription
+from repro.pilot.task_manager import SubmissionWindow
+from repro.workflows import (
+    CampaignGraph,
+    CampaignRunner,
+    StageFailure,
+    TaskNode,
+    failed_tasks,
+)
+
+
+@pytest.fixture
+def env():
+    with Session(seed=23) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+        tmgr.add_pilots(pilot)
+        yield session, tmgr
+
+
+def sim_task(name, duration, **kwargs):
+    return TaskDescription(name=name, executable="sim",
+                           duration_s=float(duration), **kwargs)
+
+
+def run_graphs(session, runner, graphs, **kwargs):
+    proc = session.engine.process(runner.run_campaign(graphs, **kwargs))
+    return session.run(until=proc)
+
+
+class TestGraphValidation:
+    def test_node_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            TaskNode(name="bad")
+        with pytest.raises(ValueError):
+            TaskNode(name="bad", build=lambda c: [],
+                     run=lambda r, c: iter(()))
+
+    def test_duplicate_nodes_rejected(self):
+        node = TaskNode(name="a", build=lambda c: [])
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignGraph(name="g", nodes=[node, node])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            CampaignGraph(name="g", nodes=[
+                TaskNode(name="a", deps=("ghost",), build=lambda c: [])])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            CampaignGraph(name="g", nodes=[
+                TaskNode(name="a", deps=("b",), build=lambda c: []),
+                TaskNode(name="b", deps=("a",), build=lambda c: [])])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            CampaignGraph(name="g", nodes=[])
+
+    def test_topological_order_respects_deps(self):
+        graph = CampaignGraph(name="g", nodes=[
+            TaskNode(name="z", deps=("a", "b"), build=lambda c: []),
+            TaskNode(name="a", build=lambda c: []),
+            TaskNode(name="b", deps=("a",), build=lambda c: [])])
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("z")
+
+    def test_pipeline_lowering_is_a_chain(self):
+        from repro.workflows import Pipeline, StageSpec
+        pipeline = Pipeline(name="p", stages=[
+            StageSpec(name="s0", build=lambda c: []),
+            StageSpec(name="s1", build=lambda c: []),
+            StageSpec(name="s2", build=lambda c: [])])
+        graph = pipeline.to_graph()
+        assert graph.topological_order() == ["s0", "s1", "s2"]
+        assert graph.nodes["s1"].deps == ("s0",)
+        assert graph.table_rows() == pipeline.table_rows()
+
+
+class TestStreamingExecution:
+    def diamond(self):
+        """a -> (b, c) -> d with a slow b: c must not wait for b."""
+        def node(name, duration, deps=()):
+            def build(ctx):
+                return [sim_task(f"t-{name}", duration)]
+
+            def collect(ctx, tasks):
+                ctx.setdefault("done_at", {})[name] = \
+                    tasks[0].session.engine.now
+                ctx.setdefault("uids", {})[name] = tasks[0].uid
+            return TaskNode(name=name, deps=deps, build=build,
+                            collect=collect)
+
+        return CampaignGraph(name="diamond", nodes=[
+            node("a", 5.0),
+            node("b", 50.0, deps=("a",)),
+            node("c", 5.0, deps=("a",)),
+            node("d", 5.0, deps=("b", "c"))])
+
+    def test_streaming_runs_ready_nodes_immediately(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        context = run_graphs(session, runner, self.diamond())
+        # c finished long before the straggler b: no barrier between them
+        assert context["done_at"]["c"] < context["done_at"]["b"]
+        # d still waited for both of its inputs
+        assert context["done_at"]["d"] > context["done_at"]["b"]
+
+    def test_campaign_tracks_node_tasks(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        run_graphs(session, runner, self.diamond())
+        assert set(runner.node_tasks) == {
+            "diamond/a", "diamond/b", "diamond/c", "diamond/d"}
+        assert len(runner.tasks) == 4
+
+    def test_multiple_graphs_stream_in_one_campaign(self, env):
+        session, tmgr = env
+
+        def chain(gname, duration):
+            def node(i, deps=()):
+                def build(ctx):
+                    return [sim_task(f"{gname}-{i}", duration)]
+
+                def collect(ctx, tasks):
+                    ctx.setdefault("order", []).append(i)
+                    ctx["done_at"] = tasks[0].session.engine.now
+                return TaskNode(name=f"n{i}", deps=deps, build=build,
+                                collect=collect)
+            return CampaignGraph(name=gname, nodes=[
+                node(0), node(1, deps=("n0",)), node(2, deps=("n1",))])
+
+        runner = CampaignRunner(session, tmgr)
+        fast = chain("fast", 1.0)
+        slow = chain("slow", 40.0)
+        contexts = run_graphs(session, runner, [fast, slow])
+        assert [c["order"] for c in contexts] == [[0, 1, 2], [0, 1, 2]]
+        # the fast graph finished while the slow one was still on its
+        # first node: the graphs interleave instead of running in series
+        assert contexts[0]["done_at"] < 40.0 < contexts[1]["done_at"]
+
+    def test_concurrent_campaigns_on_one_runner_do_not_interfere(self, env):
+        """Run state is scoped per run_campaign invocation: two pipelines
+        driven concurrently through one shared WorkflowRunner (as the old
+        barrier runner allowed) keep independent failure accounting."""
+        from repro.workflows import Pipeline, StageSpec, WorkflowRunner
+
+        session, tmgr = env
+        runner = WorkflowRunner(session, tmgr)
+
+        def boom():
+            raise RuntimeError("first pipeline fails")
+
+        failing = Pipeline(name="failing", stages=[
+            StageSpec(name="bad", build=lambda c: [
+                TaskDescription(name="bad", function=boom)])])
+        healthy = Pipeline(name="healthy", stages=[
+            StageSpec(name="slow", build=lambda c: [sim_task("slow", 30.0)],
+                      collect=lambda c, t: c.update(ok=True))])
+
+        # start the slow healthy pipeline first, then the failing one
+        healthy_proc = session.engine.process(runner.run_pipeline(healthy))
+        failing_proc = session.engine.process(runner.run_pipeline(failing))
+        with pytest.raises(StageFailure):
+            session.run(until=failing_proc)
+        context = session.run(until=healthy_proc)
+        assert context["ok"]  # the failure did not leak into this run
+
+    def test_duplicate_graph_names_rejected(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        graph = self.diamond()
+        with pytest.raises(ValueError, match="duplicate graph names"):
+            run_graphs(session, runner, [graph, graph])
+
+    def test_custom_node_runner_surface(self, env):
+        """Custom run nodes get submit (non-blocking) + submit_and_wait."""
+        session, tmgr = env
+
+        def run(runner, ctx):
+            early = runner.submit([sim_task("early", 30.0)])
+            tasks = yield from runner.submit_and_wait(
+                [sim_task(f"bag-{i}", 2.0) for i in range(3)])
+            ctx["bag_done_at"] = runner.session.engine.now
+            yield runner.tmgr.wait_tasks(early)
+            ctx["early"] = early[0].state
+
+        graph = CampaignGraph(name="custom", nodes=[
+            TaskNode(name="only", run=run)])
+        runner = CampaignRunner(session, tmgr)
+        context = run_graphs(session, runner, graph)
+        assert context["early"] == "DONE"
+        assert context["bag_done_at"] < 30.0  # bag did not wait for early
+        assert len(runner.node_tasks["custom/only"]) == 4
+
+    def test_campaign_profiler_events(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        run_graphs(session, runner, self.diamond())
+        prof = session.profiler
+        (uid,) = prof.uids_with_event("campaign_start")
+        assert prof.timestamp(uid, "campaign_stop") is not None
+        assert prof.duration(f"{uid}.b", "node_start", "node_stop") >= 50.0
+
+
+class TestFailurePropagation:
+    def failing_graph(self, tolerance=0.0):
+        def boom():
+            raise RuntimeError("node exploded")
+
+        def build_bad(ctx):
+            return [TaskDescription(name="bad", function=boom)]
+
+        def collect(ctx, tasks):
+            ctx["collected"] = [t.state for t in tasks]
+
+        return CampaignGraph(name="failing", nodes=[
+            TaskNode(name="bad", build=build_bad, collect=collect,
+                     failure_tolerance=tolerance),
+            TaskNode(name="downstream", deps=("bad",),
+                     build=lambda c: [sim_task("after", 1.0)],
+                     collect=lambda c, t: c.update(after="ran")),
+            TaskNode(name="sibling",
+                     build=lambda c: [sim_task("side", 1.0)],
+                     collect=lambda c, t: c.update(sibling="ran"))])
+
+    def test_failure_skips_downstream_but_not_siblings(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        proc = session.engine.process(
+            runner.run_campaign(self.failing_graph(),
+                                contexts=(context := {})))
+        with pytest.raises(StageFailure):
+            session.run(until=proc)
+        assert context.get("after") is None     # downstream skipped
+        assert context["sibling"] == "ran"      # sibling streamed through
+
+    def test_tolerated_failure_flows_partial_results(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        context = run_graphs(session, runner, self.failing_graph(1.0))
+        assert context["collected"] == ["FAILED"]
+        assert context["after"] == "ran"
+
+    def test_failed_tasks_excludes_tasks_mid_recovery(self, env):
+        """The failure_tolerance bugfix: a FAILED task whose recovery is
+        still pending (not final, completion unfired) and a RESCHEDULING
+        task must not count as stage failures."""
+        session, tmgr = env
+        from repro.pilot.states import TaskState
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(name=f"t{i}", executable="x", duration_s=1.0)
+             for i in range(4)])
+        session.run(until=tmgr.wait_tasks(tasks[:1]))
+        done = tasks[0]
+        # a FAILED task whose recovery decision is pending: final-looking
+        # state, but its completion event has not fired
+        recovering = tmgr.submit_tasks(TaskDescription(name="r",
+                                                       executable="x"))[0]
+        recovering.advance(TaskState.TMGR_SCHEDULING, "test")
+        recovering.advance(TaskState.FAILED, "test")       # not sealed
+        rescheduling = tmgr.submit_tasks(TaskDescription(name="q",
+                                                         executable="x"))[0]
+        rescheduling.advance(TaskState.TMGR_SCHEDULING, "test")
+        rescheduling.advance(TaskState.FAILED, "test")
+        rescheduling.advance(TaskState.RESCHEDULING, "test")
+        sealed = tmgr.submit_tasks(TaskDescription(name="s",
+                                                   executable="x"))[0]
+        sealed.advance(TaskState.TMGR_SCHEDULING, "test")
+        sealed.finish(TaskState.FAILED, "test")
+        probe = [done, recovering, rescheduling, sealed]
+        assert failed_tasks(probe) == [sealed]
+
+    def test_interrupt_tears_down_node_processes(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+
+        def slow_node(name, deps=()):
+            return TaskNode(name=name, deps=deps,
+                            build=lambda c: [sim_task(name, 100.0)],
+                            collect=lambda c, t: c.update({name: "done"}))
+
+        graph = CampaignGraph(name="torn", nodes=[
+            slow_node("a"), slow_node("b", deps=("a",))])
+        from repro.sim.events import Interrupt
+
+        def campaign(context):
+            try:
+                return (yield from runner.run_campaign(graph,
+                                                       contexts=context))
+            except Interrupt:
+                return None
+
+        context = {}
+        proc = session.engine.process(campaign(context))
+        session.run(until=10.0)
+        proc.interrupt("killed")
+        session.run()
+        assert context.get("b") is None  # successor never started
+
+
+class TestBackpressure:
+    def test_campaign_window_bounds_in_flight(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr, window=2)
+        graph = CampaignGraph(name="wide", nodes=[
+            TaskNode(name="bag",
+                     build=lambda c: [sim_task(f"w{i}", 2.0)
+                                      for i in range(9)],
+                     collect=lambda c, t: c.update(
+                         states=[x.state for x in t]))])
+        context = run_graphs(session, runner, graph)
+        assert context["states"] == ["DONE"] * 9
+        assert runner.window.peak <= 2
+        assert runner.window.in_flight == 0
+
+    def test_window_is_shared_across_nodes(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr, window=3)
+        nodes = [TaskNode(name=f"n{i}",
+                          build=lambda c, i=i: [sim_task(f"n{i}-{j}", 1.0)
+                                                for j in range(4)])
+                 for i in range(3)]
+        run_graphs(session, runner, CampaignGraph(name="many", nodes=nodes))
+        assert runner.window.peak <= 3
+
+    def test_windowed_submission_beats_strict_chunks(self, env):
+        """Sliding window overlaps chunk N+1 with chunk N's stragglers."""
+        session, tmgr = env
+        durations = [20.0, 1.0, 1.0, 1.0] * 4
+
+        def run_with(**kwargs):
+            tasks = tmgr.submit_tasks(
+                [sim_task(f"x{i}", d) for i, d in enumerate(durations)],
+                **kwargs)
+            start = session.now
+            session.run(until=tmgr.wait_tasks(tasks))
+            return session.now - start
+
+        chunked = run_with(chunk_size=4)
+        windowed = run_with(chunk_size=4, window=4)
+        assert windowed < chunked
+
+    def test_submit_after_defers_driver_start(self, env):
+        session, tmgr = env
+        (first,) = tmgr.submit_tasks(sim_task("first", 10.0))
+        (second,) = tmgr.submit_tasks(sim_task("second", 1.0),
+                                      after=first.completed)
+        session.run(until=tmgr.wait_tasks([first, second]))
+        prof = session.profiler
+        assert prof.timestamp(second.uid, "state:TMGR_SCHEDULING") >= \
+            prof.timestamp(first.uid, "state:DONE")
+
+    def test_on_complete_fires_per_task_completion(self, env):
+        session, tmgr = env
+        seen = []
+        tasks = tmgr.submit_tasks(
+            [sim_task(f"c{i}", float(3 - i)) for i in range(3)],
+            on_complete=lambda t: seen.append(t.description.name))
+        session.run(until=tmgr.wait_tasks(tasks))
+        assert sorted(seen) == ["c0", "c1", "c2"]
+        # completion order follows duration, not submission order
+        assert seen[0] == "c2"
+
+    def test_window_validation(self, env):
+        session, tmgr = env
+        with pytest.raises(ValueError):
+            SubmissionWindow(session.engine, 0)
+
+
+class TestFrontierCheckpoints:
+    def chain_graph(self, n=4, duration=10.0):
+        def node(i, deps):
+            return TaskNode(
+                name=f"step-{i}", deps=deps,
+                build=lambda c, i=i: [sim_task(f"step-{i}", duration)],
+                collect=lambda c, t, i=i: c.update({f"step{i}": "done"}))
+        nodes = [node(0, ())]
+        nodes += [node(i, (f"step-{i - 1}",)) for i in range(1, n)]
+        return CampaignGraph(name="chain", nodes=nodes)
+
+    def resilient_env(self, store, seed=23):
+        session = Session(seed=seed, resilience_config=ResilienceConfig(
+            checkpoint=CheckpointPolicy(interval_iters=1),
+            checkpoint_store=store))
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(
+            PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+        tmgr.add_pilots(pilot)
+        return session, tmgr
+
+    def test_restart_replays_only_lost_nodes(self, env):
+        from repro.sim.events import Interrupt
+
+        store = {}
+        session, tmgr = self.resilient_env(store)
+        with session:
+            runner = CampaignRunner(session, tmgr)
+
+            def campaign():
+                try:
+                    return (yield from runner.run_campaign(
+                        self.chain_graph(), checkpoint_key="chain-ckpt"))
+                except Interrupt:
+                    return None
+
+            proc = session.engine.process(campaign())
+            # pilot bootstrap ~4s + 10s per step: at t=30 steps 0 and 1
+            # are done (and their frontiers saved), step 2 is in flight
+            session.run(until=30.0)
+            proc.interrupt("killed")
+            session.quiesce()
+            session.run()
+        frontier = store["chain-ckpt/frontier"][1]
+        assert frontier["completed"]["chain"] == ["step-0", "step-1"]
+
+        session, tmgr = self.resilient_env(store, seed=29)
+        with session:
+            runner = CampaignRunner(session, tmgr)
+            proc = session.engine.process(runner.run_campaign(
+                self.chain_graph(), checkpoint_key="chain-ckpt"))
+            context = session.run(until=proc)
+            # completed steps were restored, not re-executed
+            assert len(tmgr.tasks) == 2
+            assert all(context[f"step{i}"] == "done" for i in range(4))
+            assert session.resilience.checkpoints.restores >= 1
+        assert store["chain-ckpt/frontier"][1]["completed"]["chain"] == \
+            [f"step-{i}" for i in range(4)]
+
+    def test_interrupt_during_frontier_save_settles_cleanly(self):
+        """An interrupt landing while a frontier save's transfer is in
+        flight must not escape the node process (unhandled process
+        failures crash the engine drain)."""
+        from repro.sim.events import Interrupt
+
+        store = {}
+        session, tmgr = self.resilient_env(store)
+        with session:
+            runner = CampaignRunner(session, tmgr)
+
+            def campaign():
+                try:
+                    return (yield from runner.run_campaign(
+                        self.chain_graph(), checkpoint_key="mid-save",
+                        checkpoint_bytes=5e9))  # 5s on the 1 GB/s WAN
+                except Interrupt:
+                    return None
+
+            proc = session.engine.process(campaign())
+            # step-0 completes ~t=14.3; its 5s save is in flight at t=16
+            session.run(until=16.0)
+            proc.interrupt("killed")
+            session.quiesce()
+            session.run()  # must drain without an engine error
+            assert not proc.is_alive
+
+    def test_checkpoint_bytes_charged_per_node_delta(self):
+        """Two nodes completing per save window charge two deltas."""
+        store = {}
+        session, tmgr = self.resilient_env(store)
+        session._resilience_config.checkpoint.interval_iters = 2
+        with session:
+            runner = CampaignRunner(session, tmgr)
+            proc = session.engine.process(runner.run_campaign(
+                self.chain_graph(n=2, duration=1.0),
+                checkpoint_key="delta-ckpt", checkpoint_bytes=1e9))
+            session.run(until=proc)
+            # one save of two completed nodes: 2 GB over the 1 GB/s WAN
+            assert session.resilience.checkpoints.saves == 1
+            data = session.data
+            assert data.transfers.bytes_moved >= 2e9
+
+
+class TestCampaignMetrics:
+    def test_overlap_and_idle_accounting(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        graph = CampaignGraph(name="m", nodes=[
+            TaskNode(name="a", build=lambda c: [sim_task("a", 10.0)]),
+            TaskNode(name="b", build=lambda c: [sim_task("b", 10.0)])])
+        run_graphs(session, runner, graph)
+        metrics = campaign_metrics(session, runner.node_tasks,
+                                   total_cores=128)
+        assert metrics.n_tasks == 2 and metrics.n_done == 2
+        # launch jitter staggers the starts by a few hundred ms; the bulk
+        # of the 10s executions overlaps
+        assert metrics.overlap_fraction > 0.9
+        assert metrics.peak_concurrency == 2
+        assert metrics.busy_core_s == pytest.approx(20.0)
+        assert 0.0 < metrics.idle_fraction < 1.0
+
+    def test_serial_nodes_have_zero_overlap(self, env):
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        graph = CampaignGraph(name="m", nodes=[
+            TaskNode(name="a", build=lambda c: [sim_task("a", 5.0)]),
+            TaskNode(name="b", deps=("a",),
+                     build=lambda c: [sim_task("b", 5.0)])])
+        run_graphs(session, runner, graph)
+        metrics = campaign_metrics(session, runner.node_tasks,
+                                   total_cores=64)
+        assert metrics.overlap_fraction == pytest.approx(0.0)
+        assert metrics.peak_concurrency == 1
+
+    def test_empty_groups_yield_nan_metrics(self, env):
+        session, _ = env
+        metrics = campaign_metrics(session, {}, total_cores=8)
+        assert metrics.n_tasks == 0
+        assert metrics.makespan_s == 0.0
+
+
+class TestPortedUseCases:
+    def test_signature_campaign_matches_pipeline(self, env):
+        from repro.workflows import (
+            SignatureConfig,
+            WorkflowRunner,
+            build_signature_campaign,
+            build_signature_pipeline,
+        )
+
+        config = SignatureConfig(n_samples=6, variants_per_sample=120,
+                                 seed=4)
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        streamed = run_graphs(session, runner,
+                              build_signature_campaign(config))["result"]
+
+        with Session(seed=23) as session2:
+            pmgr = PilotManager(session2)
+            tmgr2 = TaskManager(session2)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+            tmgr2.add_pilots(pilot)
+            wrunner = WorkflowRunner(session2, tmgr2)
+            proc = session2.engine.process(
+                wrunner.run_pipeline(build_signature_pipeline(config)))
+            barriered = session2.run(until=proc)["result"]
+
+        assert [a.sample_id for a in streamed.annotations] == \
+            [a.sample_id for a in barriered.annotations]
+        assert streamed.significant_by_sample == \
+            barriered.significant_by_sample
+        assert streamed.recovered_radiation_pathways == \
+            barriered.recovered_radiation_pathways
+        assert streamed.linear_fit.params == barriered.linear_fit.params
+
+    def test_uq_campaign_matches_pipeline(self, env):
+        from repro.workflows import (
+            UQConfig,
+            WorkflowRunner,
+            build_uq_campaign,
+            build_uq_pipeline,
+        )
+
+        config = UQConfig(seeds=(0, 1), n_train=80, n_test=40)
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        streamed = run_graphs(session, runner,
+                              build_uq_campaign(config))["result"]
+        assert len(streamed.cells) == 2 * 2 * 2
+
+        with Session(seed=23) as session2:
+            pmgr = PilotManager(session2)
+            tmgr2 = TaskManager(session2)
+            (pilot,) = pmgr.submit_pilots(
+                PilotDescription(resource="delta", nodes=2, runtime_s=1e9))
+            tmgr2.add_pilots(pilot)
+            wrunner = WorkflowRunner(session2, tmgr2)
+            proc = session2.engine.process(
+                wrunner.run_pipeline(build_uq_pipeline(config)))
+            barriered = session2.run(until=proc)["result"]
+
+        key = lambda c: (c.model, c.method, c.seed)  # noqa: E731
+        assert sorted(map(key, streamed.cells)) == \
+            sorted(map(key, barriered.cells))
+        assert [(r.model, r.method) for r in streamed.summary] == \
+            [(r.model, r.method) for r in barriered.summary]
+        for s, b in zip(streamed.summary, barriered.summary):
+            assert s.accuracy_mean == pytest.approx(b.accuracy_mean)
+            assert s.ece_mean == pytest.approx(b.ece_mean)
+
+    def test_cell_painting_campaign_runs(self, env):
+        from repro.workflows import (
+            CellPaintingConfig,
+            build_cell_painting_campaign,
+        )
+
+        config = CellPaintingConfig(
+            n_shards=4, images_per_shard=4, image_size=16, n_trials=4,
+            concurrent_trials=2, min_shards_to_train=2, trial_epochs=5)
+        session, tmgr = env
+        runner = CampaignRunner(session, tmgr)
+        context = run_graphs(session, runner,
+                             build_cell_painting_campaign(config))
+        result = context["result"]
+        assert result.n_trials == 4
+        assert result.n_shards_total == 4
+
+    def test_session_campaign_facade(self, env):
+        session, tmgr = env
+        runner = session.campaign_runner(tmgr, window=4)
+        graph = CampaignGraph(name="facade", nodes=[
+            TaskNode(name="only",
+                     build=lambda c: [sim_task("t", 1.0)],
+                     collect=lambda c, t: c.update(ok=True))])
+        context = run_graphs(session, runner, graph)
+        assert context["ok"]
+        assert runner.window.capacity == 4
