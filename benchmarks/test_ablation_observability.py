@@ -1,0 +1,164 @@
+"""Ablation: what the telemetry plane costs, and that "off" costs nothing.
+
+The observability package promises zero cost when disabled: every hook
+site guards with one attribute test, so `Session()` (the default,
+``observability=None``) must keep the scheduler hot path at its
+established throughput floor.  With the metrics plane on, the grant path
+pays two dict writes at enqueue and a pop + histogram observe at grant --
+bounded, measured here.
+
+Two studies plus a smoke artifact:
+
+1. **steady-state grant throughput** off vs metrics-on on the indexed
+   scheduler (same cycle harness as ``test_ablation_sched_throughput``).
+   Acceptance: *off* clears the absolute ``MIN_GRANTS_PER_S`` floor, and
+   *metrics-on* stays within 15% of *off* (best-of-3 each, interleaved,
+   to damp scheduling noise).
+
+2. **end-to-end TaskManager campaign** with every plane on (tracing +
+   metrics + monitors), reported for context -- the full pipeline
+   amortizes the per-grant cost, so relative overhead there is smaller.
+
+3. the e2e run exports its Chrome trace to
+   ``benchmarks/results/observability_smoke_trace.json`` (uploaded as a
+   CI artifact) and sanity-checks the span forest before writing it.
+"""
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from conftest import RESULTS_DIR, bench_scale
+
+from repro import ObservabilityConfig
+from repro.analytics import ReportBuilder
+from repro.hpc import NodeList
+from repro.pilot import (
+    PilotDescription,
+    PilotManager,
+    Session,
+    TaskDescription,
+    TaskManager,
+    TaskState,
+)
+from repro.pilot.agent.scheduler import AgentScheduler
+from repro.pilot.task import Task
+
+DEPTH = bench_scale(20_000)
+CYCLES = 1_000
+REPEATS = 3
+E2E_TASKS = bench_scale(3_000)
+
+#: absolute floor with telemetry off (same floor as the scheduler bench)
+MIN_GRANTS_PER_S = 2_000
+#: metrics-on must retain this fraction of the off throughput
+MIN_METRICS_RATIO = 0.85
+
+SMOKE_TRACE = RESULTS_DIR / "observability_smoke_trace.json"
+
+
+def grant_cycle_rate(observability):
+    """Release->grant cycles/sec at DEPTH pending, one configuration."""
+    with Session(seed=0, profile="off",
+                 observability=observability) as session:
+        nodes = NodeList.build(256, 64, 4, 256.0)
+        sched = AgentScheduler(session, nodes, "pilot.bench")
+        desc = TaskDescription(executable="x", cores_per_rank=4)
+        holders = deque()
+        for i in range(256 * 64 // 4):
+            task = Task(session, desc, f"h{i}")
+            sched.schedule(task)
+            assert task.slots, "holder must be granted"
+            holders.append(task)
+        waiters = deque()
+        for i in range(DEPTH):
+            task = Task(session, desc, f"w{i}")
+            sched.schedule(task)
+            waiters.append(task)
+        cycles = min(CYCLES, DEPTH)
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            sched.release(holders.popleft())
+            granted = waiters.popleft()
+            assert granted.slots
+            holders.append(granted)
+        return cycles / (time.perf_counter() - t0)
+
+
+def e2e_rate(observability):
+    """Full TaskManager pipeline tasks/sec, one configuration."""
+    with Session(seed=11, profile="durations",
+                 observability=observability) as session:
+        pmgr = PilotManager(session)
+        tmgr = TaskManager(session)
+        (pilot,) = pmgr.submit_pilots(PilotDescription(
+            resource="frontier", nodes=128, runtime_s=1e9))
+        tmgr.add_pilots(pilot)
+        t0 = time.perf_counter()
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=60.0,
+                             cores_per_rank=2)
+             for _ in range(E2E_TASKS)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        elapsed = time.perf_counter() - t0
+        assert all(t.state == TaskState.DONE for t in tasks)
+        obs = session.observability
+        tracer = obs.tracer if obs is not None else None
+        return E2E_TASKS / elapsed, tracer
+
+
+def export_smoke_trace(tracer) -> int:
+    """Sanity-check the span forest, write the CI smoke artifact."""
+    roots = [s for s in tracer.spans
+             if s.category == "task" and s.parent_id is None]
+    assert len(roots) == E2E_TASKS
+    by_parent = {}
+    for span in tracer.spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    for root in roots[:100]:
+        names = [s.name for s in by_parent.get(root.span_id, ())]
+        for required in ("submit", "schedule", "execute"):
+            assert required in names, (root.name, names)
+    n = tracer.to_chrome_trace(str(SMOKE_TRACE))
+    payload = json.loads(Path(SMOKE_TRACE).read_text())
+    assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == n
+    return n
+
+
+def test_observability_overhead(emit):
+    report = ReportBuilder("Telemetry-plane overhead (off / metrics / full)")
+
+    # -- study 1: grant-cycle throughput, off vs metrics-on ------------------
+    metrics_cfg = ObservabilityConfig(tracing=False, monitors=False)
+    off_runs, on_runs = [], []
+    for _ in range(REPEATS):  # interleaved best-of-N damps machine noise
+        off_runs.append(grant_cycle_rate(None))
+        on_runs.append(grant_cycle_rate(metrics_cfg))
+    off, on = max(off_runs), max(on_runs)
+    report.add_table(
+        ["configuration", "grants/s", "vs off"],
+        [["observability=None", f"{off:.0f}", "1.00x"],
+         ["metrics on", f"{on:.0f}", f"{on / off:.2f}x"]],
+        title=(f"Steady-state grant throughput at {DEPTH} pending "
+               f"(best of {REPEATS}, 256 nodes x 64 cores)"))
+    assert off >= MIN_GRANTS_PER_S
+    assert on / off >= MIN_METRICS_RATIO, \
+        f"metrics-on grant throughput {on:.0f}/s is {on / off:.2f}x of off"
+
+    # -- study 2 + smoke artifact: full pipeline, every plane on -------------
+    e2e_off, _ = e2e_rate(None)
+    e2e_full, tracer = e2e_rate(ObservabilityConfig(sample_interval_s=60.0))
+    n_spans = export_smoke_trace(tracer)
+    report.add_table(
+        ["configuration", "tasks/s", "vs off"],
+        [["observability=None", f"{e2e_off:.0f}", "1.00x"],
+         ["tracing+metrics+monitors", f"{e2e_full:.0f}",
+          f"{e2e_full / e2e_off:.2f}x"]],
+        title=f"End-to-end TaskManager campaign ({E2E_TASKS} tasks)")
+    report.add_kv({
+        "smoke trace": str(SMOKE_TRACE.relative_to(RESULTS_DIR.parent)),
+        "spans exported": n_spans,
+    }, title="CI artifact")
+
+    emit(report)

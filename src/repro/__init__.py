@@ -47,6 +47,12 @@ from .pilot import (
     TaskState,
 )
 from .data import DataConfig, DataServices
+from .observability import (
+    AnomalyEvent,
+    ObservabilityConfig,
+    ObservabilityServices,
+    spans_from_profiler,
+)
 from .resilience import (
     CheckpointPolicy,
     FaultModel,
@@ -77,6 +83,7 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnomalyEvent",
     "CheckpointPolicy",
     "DataConfig",
     "DataManager",
@@ -84,8 +91,11 @@ __all__ = [
     "FaultModel",
     "PilotResubmitPolicy",
     "ResilienceConfig",
+    "ObservabilityConfig",
+    "ObservabilityServices",
     "ResilienceServices",
     "RetryPolicy",
+    "spans_from_profiler",
     "Pilot",
     "PilotDescription",
     "PilotManager",

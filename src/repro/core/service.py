@@ -90,6 +90,16 @@ class ServiceInstance:
         self.busy_time_s = 0.0
         self.max_queue_seen = 0
         self.ewma_service_s = 0.0
+        obs = session.observability
+        self._obs_metrics = obs.metrics if obs is not None else None
+        if self._obs_metrics is not None:
+            self._obs_batch_hist = self._obs_metrics.histogram(
+                "service_batch_size", {"service": uid},
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+            depth_gauge = self._obs_metrics.gauge(
+                "service_queue_depth", {"service": uid})
+            self._obs_metrics.add_poll(
+                lambda: depth_gauge.set(self.queue_depth))
 
     # -- lifecycle ----------------------------------------------------------------
     @property
@@ -292,6 +302,8 @@ class ServiceInstance:
             span = engine.now - dequeued_at
             self.requests_handled += len(batch)
             self.batches_handled += 1
+            if self._obs_metrics is not None:
+                self._obs_batch_hist.observe(len(batch))
             self.busy_time_s += span
             self._update_ewma(span / len(batch))
             for msg, reply_payload in zip(batch, reply_payloads):

@@ -64,6 +64,8 @@ class TransferScheduler:
         #: must be surfaced as :class:`TransferAborted`
         self.corruption_check = None
         self.corrupted_count = 0
+        obs = session.observability
+        self._obs_metrics = obs.metrics if obs is not None else None
 
     # -- links -------------------------------------------------------------------
     def link(self, src: str, dst: str) -> SharedLink:
@@ -125,4 +127,9 @@ class TransferScheduler:
         record = TransferRecord(src=src, dst=dst, nbytes=float(nbytes),
                                 started=started, finished=engine.now, uid=uid)
         self.records.append(record)
+        if self._obs_metrics is not None and nbytes > 0:
+            key = Fabric._key(src, dst)
+            self._obs_metrics.counter(
+                "transfer_link_bytes_total",
+                {"link": f"{key[0]}<->{key[1]}"}).inc(nbytes)
         return record

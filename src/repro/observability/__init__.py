@@ -1,0 +1,149 @@
+"""Live telemetry plane: causal tracing, runtime metrics, anomaly monitors.
+
+The analytics layer (:mod:`repro.analytics`) explains a run after it ends;
+this package watches it *while it runs*.  Three planes, each independently
+switchable:
+
+* :mod:`~repro.observability.trace`   -- causal spans across the task
+  lifecycle, campaign graph and data plane, exportable as Chrome
+  trace-event JSON (Perfetto) or JSONL;
+* :mod:`~repro.observability.metrics` -- counters/gauges/histograms with a
+  sim-time sampling daemon producing per-instrument time series (queue
+  depths, grant latency, utilization, link throughput, ...);
+* :mod:`~repro.observability.monitor` -- anomaly detectors (stragglers,
+  queue growth, SLO burn) emitting structured subscribable events.
+
+Enable per session::
+
+    session = Session(observability=ObservabilityConfig())
+    ...
+    session.quiesce()                       # stops the sampling daemon too
+    session.run()
+    session.observability.tracer.to_chrome_trace("trace.json")
+
+The default ``Session()`` carries ``observability=None`` and every hook
+site guards with a single attribute test (``obs = session.observability``
+... ``if obs is not None``), so the disabled plane costs one pointer read
+on hot paths -- the scheduler-throughput floor is unaffected (enforced by
+``benchmarks/test_ablation_observability.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import AnomalyEvent, MonitorHub
+from .trace import Span, Tracer, spans_from_profiler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+    from ..pilot.task import Task
+    from ..pilot.task_manager import TaskManager
+
+__all__ = ["ObservabilityConfig", "ObservabilityServices",
+           "Tracer", "Span", "spans_from_profiler",
+           "MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "MonitorHub", "AnomalyEvent"]
+
+
+@dataclass
+class ObservabilityConfig:
+    """Telemetry-plane switches and detector tuning.
+
+    All three planes default on; turn individual ones off for cheaper runs
+    (``ObservabilityConfig(tracing=False)`` keeps metrics + monitors).
+    """
+
+    #: record causal spans (task lifecycle, campaign nodes, transfers)
+    tracing: bool = True
+    #: register instruments and run the sampling daemon
+    metrics: bool = True
+    #: run anomaly detectors (requires nothing from the other two planes,
+    #: but queue-growth detection only fires when metrics are on)
+    monitors: bool = True
+    #: simulated seconds between metric samples
+    sample_interval_s: float = 5.0
+
+    # straggler detection: exec time > k x rolling median of same shape
+    straggler_k: float = 3.0
+    straggler_window: int = 32
+    straggler_min_samples: int = 5
+
+    # queue growth: depth grew monotonically over the last N samples while
+    # at or above the minimum depth
+    queue_growth_window: int = 5
+    queue_growth_min_depth: float = 16.0
+
+    # SLO burn: submit-to-done latency objective (None disables) and the
+    # miss fraction over the rolling window that triggers the alert
+    slo_latency_s: Optional[float] = None
+    slo_window: int = 32
+    slo_burn_threshold: float = 0.5
+
+
+class ObservabilityServices:
+    """Per-session telemetry facade: ``session.observability``.
+
+    Holds the three planes (each None when its config switch is off) and
+    the task-lifecycle glue shared by all instrumented subsystems.  The
+    metrics sampling daemon starts with the session and follows the
+    standard daemon contract (interrupted by ``quiesce()``, final sample
+    at drain).
+    """
+
+    def __init__(self, session: "Session",
+                 config: Optional[ObservabilityConfig] = None) -> None:
+        self.session = session
+        self.config = config or ObservabilityConfig()
+        self.tracer: Optional[Tracer] = (
+            Tracer(session) if self.config.tracing else None)
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.config.metrics else None)
+        self.monitors: Optional[MonitorHub] = (
+            MonitorHub(self.config) if self.config.monitors else None)
+        if self.metrics is not None:
+            if self.monitors is not None:
+                # queue-growth detection scans the sampled series each tick
+                metrics, monitors, engine = \
+                    self.metrics, self.monitors, session.engine
+                metrics.add_poll(
+                    lambda: monitors.on_sample(metrics, engine.now))
+            proc = session.engine.process(
+                self.metrics.sampler(session, self.config.sample_interval_s))
+            session.add_daemon(proc)
+
+    # -- task lifecycle glue ---------------------------------------------------
+    def attach_task_manager(self, tmgr: "TaskManager") -> None:
+        """Subscribe to a TaskManager's task state transitions."""
+        tmgr.register_callback(self._on_task_state)
+
+    def task_submitted(self, task: "Task") -> None:
+        """Called by the TaskManager for every accepted task."""
+        if self.tracer is not None:
+            self.tracer.task_submitted(task)
+        if self.monitors is not None or self.metrics is not None:
+            task._obs_submitted_at = self.session.engine.now
+            task.completed.callbacks.append(
+                lambda event, task=task: self._on_task_completed(task))
+
+    def _on_task_state(self, task: "Task", state: str) -> None:
+        if self.tracer is not None:
+            self.tracer.on_task_state(task, state)
+
+    def _on_task_completed(self, task: "Task") -> None:
+        from ..pilot.states import TaskState
+
+        now = self.session.engine.now
+        submitted = getattr(task, "_obs_submitted_at", None)
+        if self.metrics is not None and submitted is not None:
+            self.metrics.histogram("task_latency_s").observe(now - submitted)
+            self.metrics.counter(
+                "tasks_completed_total",
+                {"state": task.state}).inc()
+        if self.monitors is not None:
+            if task.state == TaskState.DONE:
+                self.monitors.observe_exec(task, now)
+            if submitted is not None:
+                self.monitors.observe_latency(task.uid, now - submitted, now)

@@ -1,0 +1,299 @@
+"""Causal task tracing: spans with trace/span/parent ids.
+
+Post-mortem analytics already exist (the flat :class:`Profiler` row table),
+but explaining *why* a task was slow needs causality: which campaign node
+submitted it, how long it waited in which queue, which transfers ran on its
+behalf, how many recovery attempts it burned.  The :class:`Tracer` keeps
+that as a forest of :class:`Span` objects:
+
+* every task submitted through an instrumented TaskManager gets a **root
+  span** (category ``task``), opened at submission and closed when its
+  completion event fires -- so deferred drivers (windows, chunks, ``after=``
+  dependencies) show up as real queue time;
+* **phase spans** (``submit``, ``schedule``, ``stage_in``, ``agent_queue``,
+  ``execute``, ``stage_out``, ``recovery``, ...) are derived automatically
+  from the task's state-transition hooks: entering a state closes the
+  previous phase and opens the next, stamped with the attempt number;
+* campaign-node spans and transfer spans are parented onto the graph node
+  and task that caused them, so one trace id spans driver code, control
+  plane and data plane.
+
+Export formats: ``to_chrome_trace(path)`` writes Chrome trace-event JSON
+(openable in Perfetto / ``chrome://tracing``; each trace renders as one
+named track), ``to_jsonl(path)`` writes one span per line for offline
+tooling.  :func:`spans_from_profiler` rebuilds lifecycle spans from a saved
+profile (see :meth:`~repro.pilot.profiler.Profiler.to_jsonl`), so traces
+can be derived offline from runs that only kept the row table.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..pilot.states import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+    from ..pilot.task import Task
+
+__all__ = ["Span", "Tracer", "spans_from_profiler"]
+
+#: task state -> phase-span name opened on entering that state (states
+#: absent here -- final states -- close the current phase without opening)
+PHASE_OF_STATE = {
+    TaskState.TMGR_SCHEDULING: "schedule",
+    TaskState.TMGR_STAGING_INPUT: "stage_in",
+    TaskState.AGENT_SCHEDULING: "agent_queue",
+    TaskState.AGENT_EXECUTING: "execute",
+    TaskState.TMGR_STAGING_OUTPUT: "stage_out",
+    TaskState.FAILED: "recovery",
+    TaskState.RESCHEDULING: "reschedule",
+}
+
+
+class Span:
+    """One timed, causally-linked operation.
+
+    ``end`` stays None while the span is open.  Ids are small integers
+    unique within one tracer (deterministic: no wall clock, no entropy).
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "category",
+                 "start", "end", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int],
+                 name: str, category: str, start: float,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Optional[Dict[str, Any]] = attrs
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs or {},
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else f"{self.duration:.3f}s"
+        return (f"<Span {self.name} trace={self.trace_id} "
+                f"id={self.span_id} {state}>")
+
+
+class Tracer:
+    """Span store plus the task-lifecycle hooks that feed it."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.spans: List[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        #: task uid -> its live root span (dropped on completion)
+        self._task_roots: Dict[str, Span] = {}
+        #: task uid -> currently open phase span
+        self._task_phase: Dict[str, Span] = {}
+        #: ambient parent for tasks submitted while set (campaign nodes
+        #: wrap their synchronous submit calls with this)
+        self.context_parent: Optional[Span] = None
+
+    # -- generic span API ----------------------------------------------------
+    def start_span(self, name: str, category: str = "",
+                   parent: Optional[Span] = None,
+                   trace_id: Optional[int] = None,
+                   attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span; inherits the parent's trace id when given."""
+        if parent is not None:
+            trace_id = parent.trace_id
+        elif trace_id is None:
+            trace_id = next(self._trace_ids)
+        span = Span(trace_id, next(self._span_ids),
+                    parent.span_id if parent is not None else None,
+                    name, category, self.session.engine.now, attrs)
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close a span at the current sim time (idempotent)."""
+        if span.end is None:
+            span.end = self.session.engine.now
+        return span
+
+    # -- task lifecycle hooks ------------------------------------------------
+    def task_submitted(self, task: "Task") -> Span:
+        """Open the task's root span (and its initial ``submit`` phase).
+
+        A campaign node that submitted the task marks itself as
+        ``task.trace_parent``; the root then joins the node's trace so one
+        trace id covers graph node, task phases and transfers.
+        """
+        parent = getattr(task, "trace_parent", None) or self.context_parent
+        root = self.start_span(task.uid, "task", parent=parent,
+                               attrs={"uid": task.uid})
+        self._task_roots[task.uid] = root
+        self._task_phase[task.uid] = self.start_span(
+            "submit", "task", parent=root, attrs={"attempt": task.attempts})
+        task.completed.callbacks.append(
+            lambda event, uid=task.uid: self._task_completed(uid))
+        return root
+
+    def task_root(self, uid: str) -> Optional[Span]:
+        """The live root span of a task (None once completed/untracked)."""
+        return self._task_roots.get(uid)
+
+    def on_task_state(self, task: "Task", state: str) -> None:
+        """State-transition hook: roll the task's phase span forward."""
+        root = self._task_roots.get(task.uid)
+        if root is None:
+            return  # not submitted through an instrumented manager
+        phase = self._task_phase.pop(task.uid, None)
+        if phase is not None:
+            self.end_span(phase)
+        name = PHASE_OF_STATE.get(state)
+        if name is not None:
+            span = self.start_span(name, "task", parent=root,
+                                   attrs={"attempt": task.attempts})
+            self._task_phase[task.uid] = span
+
+    def _task_completed(self, uid: str) -> None:
+        """Completion event fired: close any open phase plus the root."""
+        phase = self._task_phase.pop(uid, None)
+        if phase is not None:
+            self.end_span(phase)
+        root = self._task_roots.pop(uid, None)
+        if root is not None:
+            self.end_span(root)
+
+    # -- queries -------------------------------------------------------------
+    def spans_of_trace(self, trace_id: int) -> List[Span]:
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def find(self, name: Optional[str] = None,
+             category: Optional[str] = None) -> List[Span]:
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (category is None or s.category == category)]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- export --------------------------------------------------------------
+    def chrome_trace_events(self) -> List[Dict[str, Any]]:
+        """Chrome trace-event list: one complete ("X") event per span.
+
+        Each trace renders as one named track (pid 1, tid = per-trace
+        index, thread_name metadata from the trace's root span), so a task
+        and everything it caused line up on one Perfetto row.
+        """
+        events: List[Dict[str, Any]] = []
+        tids: Dict[int, int] = {}
+        for span in self.spans:
+            tid = tids.get(span.trace_id)
+            if tid is None:
+                tid = tids[span.trace_id] = len(tids) + 1
+                events.append({
+                    "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+                    "args": {"name": span.name},
+                })
+            end = span.end if span.end is not None else span.start
+            events.append({
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": span.start * 1e6,       # trace events use microseconds
+                "dur": (end - span.start) * 1e6,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **(span.attrs or {}),
+                },
+            })
+        return events
+
+    def to_chrome_trace(self, path: str) -> int:
+        """Write Chrome trace-event JSON; returns the span count."""
+        payload = {"traceEvents": self.chrome_trace_events(),
+                   "displayTimeUnit": "ms"}
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return len(self.spans)
+
+    def to_jsonl(self, path: str) -> int:
+        """One span per line; returns the span count."""
+        with open(path, "w") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.as_dict()) + "\n")
+        return len(self.spans)
+
+
+def spans_from_profiler(profiler, uids: Optional[List[str]] = None,
+                        ) -> List[Span]:
+    """Rebuild task lifecycle spans from recorded ``state:*`` events.
+
+    Offline companion to the live tracer: works from any profile that kept
+    first timestamps (the ``durations`` tier suffices, as does a profile
+    re-loaded via :meth:`~repro.pilot.profiler.Profiler.from_jsonl`).  Each
+    task gets a root span plus one phase span per state it entered, ordered
+    and closed by the next state's first timestamp.  Recovery loops
+    revisit states, whose *first* timestamps only are retained -- live
+    tracing keeps per-attempt spans; this reconstruction is first-attempt
+    granularity.
+    """
+    if uids is None:
+        uids = profiler.uids_with_event(f"state:{TaskState.TMGR_SCHEDULING}")
+    spans: List[Span] = []
+    trace_ids = itertools.count(1)
+    span_ids = itertools.count(1)
+    for uid in uids:
+        stamps = []
+        for state in (TaskState.ORDER + [TaskState.FAILED,
+                                         TaskState.RESCHEDULING,
+                                         TaskState.CANCELED]):
+            t = profiler.timestamp(uid, f"state:{state}")
+            if t is not None:
+                stamps.append((t, state))
+        if not stamps:
+            continue
+        stamps.sort()
+        trace_id = next(trace_ids)
+        end = max(t for t, _ in stamps)
+        root = Span(trace_id, next(span_ids), None, uid, "task", stamps[0][0])
+        root.end = end
+        spans.append(root)
+        for i, (t, state) in enumerate(stamps):
+            name = PHASE_OF_STATE.get(state)
+            if name is None:
+                continue
+            span = Span(trace_id, next(span_ids), root.span_id, name,
+                        "task", t)
+            span.end = stamps[i + 1][0] if i + 1 < len(stamps) else end
+            spans.append(span)
+    return spans

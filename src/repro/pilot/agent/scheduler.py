@@ -119,6 +119,19 @@ class AgentScheduler:
         self._affinity_node: Dict[str, int] = {}  # soft data-affinity memory
         self._rr_index = 0  # round-robin start node for spreading load
         self.stats = SchedulerStats()
+        # Observability (None-guarded: one attribute test on hot paths when
+        # the plane is disabled, nothing else)
+        obs = session.observability
+        self._obs_metrics = obs.metrics if obs is not None else None
+        if self._obs_metrics is not None:
+            #: shape -> live pending entries (incremental, so the per-tick
+            #: poll never scans the heaps)
+            self._obs_shape_counts: Dict[ShapeKey, int] = {}
+            self._obs_enqueued_at: Dict[str, float] = {}
+            self._obs_grant_hist = self._obs_metrics.histogram(
+                "scheduler_grant_latency_s", {"pilot": pilot_uid})
+            self._obs_shapes_seen: Set[ShapeKey] = set()
+            self._obs_metrics.add_poll(self._obs_poll)
         # Node repairs grow capacity outside this class's own entry points
         # (mark_up is public API; the fault injector's explicit kick() is
         # convention, not contract).  Subscribe to health-up changes so the
@@ -129,6 +142,42 @@ class AgentScheduler:
     def _node_changed(self, node: NodeState, kind: str) -> None:
         if kind == "up":
             self._capacity_increased()
+
+    # -- observability -----------------------------------------------------------
+    def _obs_poll(self) -> None:
+        """Per-sample-tick snapshot of queue depth and core utilization."""
+        metrics = self._obs_metrics
+        pilot = {"pilot": self.pilot_uid}
+        metrics.gauge("scheduler_pending_total", pilot).set(
+            self._pending_count)
+        # zero shapes seen earlier so a drained shape's series returns to 0
+        for shape in self._obs_shapes_seen:
+            if shape not in self._obs_shape_counts:
+                metrics.gauge("scheduler_pending",
+                              {"pilot": self.pilot_uid,
+                               "shape": str(shape)}).set(0)
+        for shape, count in self._obs_shape_counts.items():
+            self._obs_shapes_seen.add(shape)
+            metrics.gauge("scheduler_pending",
+                          {"pilot": self.pilot_uid,
+                           "shape": str(shape)}).set(count)
+        total = self.nodes.total_cores
+        if total:
+            used = total - self.nodes.total_free_cores
+            metrics.gauge("pilot_core_utilization", pilot).set(used / total)
+
+    def _obs_track_dequeue(self, shape: ShapeKey) -> None:
+        """Shape-count bookkeeping for one entry leaving the queue.
+
+        Takes the already-computed shape key: recomputing it per grant
+        would dominate the instrumentation cost on the hot path.
+        """
+        counts = self._obs_shape_counts
+        left = counts.get(shape, 1) - 1
+        if left > 0:
+            counts[shape] = left
+        else:
+            counts.pop(shape, None)
 
     # -- validation ----------------------------------------------------------
     def _feasible(self, task: "Task") -> bool:
@@ -205,6 +254,9 @@ class AgentScheduler:
             return False
         entry[_ALIVE] = False
         self._pending_count -= 1
+        if self._obs_metrics is not None:
+            self._obs_track_dequeue(self._shape_of(task))
+            self._obs_enqueued_at.pop(task.uid, None)
         return True
 
     def kick(self) -> None:
@@ -230,6 +282,10 @@ class AgentScheduler:
         heappush(self._shape_queues.setdefault(shape, []), entry)
         self._entries[task.uid] = entry
         self._pending_count += 1
+        if self._obs_metrics is not None:
+            self._obs_shape_counts[shape] = \
+                self._obs_shape_counts.get(shape, 0) + 1
+            self._obs_enqueued_at[task.uid] = self.session.engine.now
 
     def _peek(self, queue: List[list]) -> Optional[list]:
         """Head live entry of one shape heap (tombstones popped lazily)."""
@@ -248,9 +304,12 @@ class AgentScheduler:
             holders[task.uid] = holders.get(task.uid, 0) + 1
         task.slots = slots
         self.stats.grants += 1
-        self.session.profiler.record(
-            self.session.engine.now, task.uid, "schedule_ok",
-            self.pilot_uid)
+        now = self.session.engine.now
+        self.session.profiler.record(now, task.uid, "schedule_ok",
+                                     self.pilot_uid)
+        if self._obs_metrics is not None:
+            queued_at = self._obs_enqueued_at.pop(task.uid, now)
+            self._obs_grant_hist.observe(now - queued_at)
         event.succeed(slots)
 
     def _drop_node_held(self, node_index: int, uid: str) -> None:
@@ -357,4 +416,6 @@ class AgentScheduler:
             heappop(queues[best_shape])
             del self._entries[task.uid]
             self._pending_count -= 1
+            if self._obs_metrics is not None:
+                self._obs_track_dequeue(best_shape)
             self._grant(task, event, slots)

@@ -57,6 +57,9 @@ class DataManager:
         self.links_total = 0
         #: wall time of each real transfer this manager performed
         self.transfer_wait_s: List[float] = []
+        obs = session.observability
+        self._obs = obs
+        self._obs_metrics = obs.metrics if obs is not None else None
 
     # -- endpoint/geometry helpers ----------------------------------------------
     def _endpoints(self, directive: StagingDirective, task_platform: str,
@@ -91,7 +94,7 @@ class DataManager:
         profiler = self.session.profiler
         directives = list(directives)
         profiler.record(engine.now, uid, f"{phase}_start", self.uid)
-        procs = [engine.process(self._stage_one(d, task_platform, phase))
+        procs = [engine.process(self._stage_one(d, task_platform, phase, uid))
                  for d in directives]
         try:
             if procs:
@@ -112,7 +115,7 @@ class DataManager:
         return len(directives)
 
     def _stage_one(self, directive: StagingDirective, task_platform: str,
-                   phase: str):
+                   phase: str, owner_uid: str = ""):
         """Child process wrapper: never fails the engine, returns errors.
 
         Failing child processes that nobody awaits would crash the engine
@@ -121,13 +124,14 @@ class DataManager:
         values that :meth:`stage` re-raises if it is still listening.
         """
         try:
-            yield from self._perform(directive, task_platform, phase)
+            yield from self._perform(directive, task_platform, phase,
+                                     owner_uid)
             return None
         except BaseException as exc:
             return exc
 
     def _perform(self, directive: StagingDirective, task_platform: str,
-                 phase: str):
+                 phase: str, owner_uid: str = ""):
         """Resolve one directive: free link, warm hit, dedup wait or move."""
         data = self.data
         if directive.action == "link":
@@ -143,12 +147,15 @@ class DataManager:
         # immutable shared datasets, but each stage-out carries a freshly
         # produced result -- a name collision with an earlier output must
         # still pay its own transfer.
+        metrics = self._obs_metrics
         if phase != "stage_out":
             while True:
                 if data.holds(dst, obj.oid):  # warm replica: free
                     data.touch(dst, obj.oid)
                     self.cache_hits += 1
                     self.bytes_saved += obj.size_bytes
+                    if metrics is not None:
+                        metrics.counter("data_cache_hits_total").inc()
                     return
                 pending = data.inflight.get((obj.oid, dst))
                 if pending is None or not data.config.dedup_inflight:
@@ -159,6 +166,8 @@ class DataManager:
                     continue  # the owner was cancelled: try again ourselves
                 self.dedup_hits += 1
                 self.bytes_saved += obj.size_bytes
+                if metrics is not None:
+                    metrics.counter("data_dedup_hits_total").inc()
                 return
 
         # Only inputs register as in-flight (outputs are never dedup
@@ -169,9 +178,25 @@ class DataManager:
             data.inflight[key] = done
         try:
             self.cache_misses += 1
+            if metrics is not None:
+                metrics.counter("data_cache_misses_total").inc()
             source = self._best_source(src, dst, obj)
-            record = yield from data.transfers.transfer(
-                source, dst, obj.size_bytes, uid=self.uid)
+            span = None
+            obs = self._obs
+            if obs is not None and obs.tracer is not None:
+                # parent the transfer on the owning task's live root span
+                # (falls back to a standalone trace for non-task staging)
+                span = obs.tracer.start_span(
+                    "transfer", "data",
+                    parent=obs.tracer.task_root(owner_uid),
+                    attrs={"src": source, "dst": dst,
+                           "bytes": obj.size_bytes, "phase": phase})
+            try:
+                record = yield from data.transfers.transfer(
+                    source, dst, obj.size_bytes, uid=self.uid)
+            finally:
+                if span is not None:
+                    obs.tracer.end_span(span)
             self.bytes_transferred += obj.size_bytes
             self.transfer_wait_s.append(record.duration)
             self._register(obj, src, dst, directive.action, phase)

@@ -35,8 +35,9 @@ N events of a days-old campaign).
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -77,9 +78,10 @@ class Profiler:
         self._ring = retention == "ring" and max_rows is not None
         self._rows: List[ProfileRow] = (
             deque(maxlen=max_rows) if self._ring else [])
-        #: uid index (kept only outside ring mode: evictions from the ring
-        #: would leave stale index entries, so ring queries scan instead)
-        self._by_uid: Dict[str, List[ProfileRow]] = defaultdict(list)
+        #: per-uid row index, maintained in *both* retention modes: ring
+        #: eviction prunes the evicted row from its uid's deque, so
+        #: uid-filtered queries are O(rows of that uid), never O(total)
+        self._by_uid: Dict[str, Deque[ProfileRow]] = {}
         #: (uid, event) -> first timestamp (the "durations" tier's store;
         #: also the O(1) lookup path for the full tier)
         self._first: Dict[Tuple[str, str], float] = {}
@@ -106,14 +108,22 @@ class Profiler:
         row = ProfileRow(float(time), uid, event, component)
         if self._ring:
             if len(self._rows) == self.max_rows:
-                self.dropped += 1  # oldest row evicted by the ring
-            self._rows.append(row)
-            return
-        if self.max_rows is not None and len(self._rows) >= self.max_rows:
+                # the ring evicts its oldest row: prune it from the index
+                self.dropped += 1
+                evicted = self._rows[0]
+                bucket = self._by_uid.get(evicted.uid)
+                if bucket is not None:
+                    bucket.popleft()
+                    if not bucket:
+                        del self._by_uid[evicted.uid]
+        elif self.max_rows is not None and len(self._rows) >= self.max_rows:
             self.dropped += 1
             return
         self._rows.append(row)
-        self._by_uid[uid].append(row)
+        bucket = self._by_uid.get(uid)
+        if bucket is None:
+            bucket = self._by_uid[uid] = deque()
+        bucket.append(row)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -123,15 +133,14 @@ class Profiler:
                event: Optional[str] = None) -> List[ProfileRow]:
         """Rows filtered by uid and/or event name (full tier only).
 
-        Ring retention scans the live window (no uid index is kept there);
-        it is sized for monitoring, not row-level analytics at scale.
+        uid-filtered lookups go through the per-uid index in both
+        retention modes (ring eviction prunes the index exactly), so they
+        cost O(rows of that uid) instead of O(total retained rows).
         """
-        if uid is not None and not self._ring:
-            rows: Iterable[ProfileRow] = self._by_uid.get(uid, [])
+        if uid is not None:
+            rows: Iterable[ProfileRow] = self._by_uid.get(uid, ())
         else:
             rows = self._rows
-            if uid is not None:
-                rows = [r for r in rows if r.uid == uid]
         if event is not None:
             rows = [r for r in rows if r.event == event]
         return list(rows)
@@ -172,3 +181,63 @@ class Profiler:
         self._event_uids.clear()
         self.recorded = 0
         self.dropped = 0
+
+    # -- persistence ---------------------------------------------------------
+    def to_jsonl(self, path: str) -> int:
+        """Persist the profile as JSONL; returns the line count.
+
+        Format: a ``meta`` header line, one ``["f", t, uid, event]`` line
+        per first timestamp (written in first-occurrence order, so the
+        ``durations`` tier and stamps whose rows the retention bound
+        dropped survive), then one ``["r", t, uid, event, component]``
+        line per retained row.  The file round-trips through
+        :meth:`from_jsonl` for every tier/retention combination and feeds
+        the offline trace exporter
+        (:func:`repro.observability.spans_from_profiler`).
+        """
+        lines = 1
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"meta": {
+                "level": self.level,
+                "max_rows": self.max_rows,
+                "retention": self.retention,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+            }}) + "\n")
+            for (uid, event), t in self._first.items():
+                fh.write(json.dumps(["f", t, uid, event]) + "\n")
+                lines += 1
+            for row in self._rows:
+                fh.write(json.dumps(["r", row.time, row.uid, row.event,
+                                     row.component]) + "\n")
+                lines += 1
+        return lines
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "Profiler":
+        """Reload a profile written by :meth:`to_jsonl`.
+
+        First timestamps are restored verbatim (including ones whose rows
+        were dropped), rows are replayed into the original tier/retention
+        configuration, and the recorded/dropped counters come back from
+        the header rather than the replay.
+        """
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            meta = header["meta"]
+            profiler = cls(level=meta["level"], max_rows=meta["max_rows"],
+                           retention=meta["retention"])
+            for line in fh:
+                entry = json.loads(line)
+                if entry[0] == "f":
+                    _, t, uid, event = entry
+                    key = (uid, event)
+                    if key not in profiler._first:
+                        profiler._first[key] = float(t)
+                        profiler._event_uids.setdefault(event, {})[uid] = None
+                else:
+                    _, t, uid, event, component = entry
+                    profiler.record(t, uid, event, component)
+        profiler.recorded = meta["recorded"]
+        profiler.dropped = meta["dropped"]
+        return profiler

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..data import DataConfig, DataServices
+    from ..observability import ObservabilityConfig, ObservabilityServices
     from ..resilience import ResilienceConfig, ResilienceServices
 
 from ..comm.bus import MessageBus
@@ -50,6 +51,7 @@ class Session:
                  uid: Optional[str] = None,
                  data_config: Optional["DataConfig"] = None,
                  resilience_config: Optional["ResilienceConfig"] = None,
+                 observability: Optional["ObservabilityConfig"] = None,
                  profile: str = "full",
                  profile_max_rows: Optional[int] = None,
                  profile_retention: str = "bound") -> None:
@@ -93,6 +95,15 @@ class Session:
             self.fabric.add_platform(spec)
 
         self.bus = MessageBus(self.engine, self.fabric)
+
+        #: live telemetry plane (None unless ``observability=`` was given).
+        #: A plain attribute, not a lazy property: hot paths guard with a
+        #: single ``session.observability is not None`` test.
+        self.observability: Optional["ObservabilityServices"] = None
+        if observability is not None:
+            from ..observability import ObservabilityServices
+            self.observability = ObservabilityServices(self, observability)
+
         log.info("session %s created (mode=%s, seed=%d)", self.uid, mode, seed)
 
     # -- lookups -------------------------------------------------------------

@@ -88,6 +88,10 @@ class Task(_StatefulEntity):
         self.failures: List[Any] = []
         #: node names the retry policy asks the agent scheduler to avoid
         self.avoid_nodes: set = set()
+        #: explicit causal parent span for the tracer (observability);
+        #: usually unset -- campaign nodes parent via the tracer's ambient
+        #: context instead
+        self.trace_parent = None
 
     @property
     def is_final(self) -> bool:

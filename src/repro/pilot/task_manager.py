@@ -125,6 +125,9 @@ class TaskManager:
         self._resilience = session.resilience
         if self._resilience is not None:
             self._resilience.register_task_manager(self)
+        self._observability = session.observability
+        if self._observability is not None:
+            self._observability.attach_task_manager(self)
 
     # -- pilot binding -----------------------------------------------------------
     def add_pilots(self, pilots: Union[Pilot, Iterable[Pilot]]) -> None:
@@ -302,6 +305,7 @@ class TaskManager:
         uids = self.session.ids.generate_batch("task", len(descriptions))
         session = self.session
         callbacks = self._callbacks
+        obs = self._observability
         tasks: List[Task] = []
         table = self._tasks
         for desc, uid in zip(descriptions, uids):
@@ -311,6 +315,8 @@ class TaskManager:
             if on_complete is not None:
                 task.completed.callbacks.append(
                     lambda event, t=task: on_complete(t))
+            if obs is not None:
+                obs.task_submitted(task)
             table[uid] = task
             tasks.append(task)
         if not tasks:

@@ -73,6 +73,7 @@ class HeartbeatMonitor:
         self._leases: Dict[str, Lease] = {}
         #: every lease expiry ever declared (feeds FailureMetrics)
         self.detections: List[DetectionRecord] = []
+        self._obs = session.observability
 
     # -- watching ----------------------------------------------------------------
     def watch(self, uid: str, interval_s: float, misses: int = 3,
@@ -149,6 +150,21 @@ class HeartbeatMonitor:
                 self.detections.append(record)
                 log.warning("%s lease expired at t=%.1f (last beat t=%.1f)",
                             lease.uid, engine.now, lease.last_beat_at)
+                obs = self._obs
+                if obs is not None:
+                    if obs.metrics is not None:
+                        obs.metrics.histogram(
+                            "detection_silence_s").observe(record.silence_s)
+                    if obs.monitors is not None:
+                        from ..observability.monitor import AnomalyEvent
+                        obs.monitors.emit(AnomalyEvent(
+                            kind="lease_expired", t=engine.now,
+                            subject=lease.uid,
+                            message=(f"{lease.uid} declared dead after "
+                                     f"{record.silence_s:.1f}s of silence"),
+                            severity="critical",
+                            details={"silence_s": record.silence_s,
+                                     "last_beat_at": lease.last_beat_at}))
                 lease.declared.succeed(engine.now)
                 return
         except Interrupt:

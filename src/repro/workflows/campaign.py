@@ -236,7 +236,8 @@ class _CampaignRun:
 
     __slots__ = ("states", "ckpt", "ckpt_key", "ckpt_bytes", "saving",
                  "dirty", "save_index", "completed_total",
-                 "completed_since_save")
+                 "completed_since_save", "camp_span", "frontier_gauge",
+                 "nodes_counter")
 
     def __init__(self, states: Dict[str, _GraphState]) -> None:
         self.states = states
@@ -248,6 +249,10 @@ class _CampaignRun:
         self.save_index = 0
         self.completed_total = 0
         self.completed_since_save = 0
+        # observability handles (None when the telemetry plane is off)
+        self.camp_span = None        # campaign root span
+        self.frontier_gauge = None   # live (ready/running) node count
+        self.nodes_counter = None    # completed-node counter
 
 
 class CampaignRunner:
@@ -276,6 +281,9 @@ class CampaignRunner:
         #: "graph/node" -> tasks submitted through the campaign's tracked
         #: paths (feeds analytics.campaign_metrics overlap/idle accounting)
         self.node_tasks: Dict[str, List[Task]] = {}
+        #: "graph/node" -> live node span (observability; tasks submitted
+        #: by a node are parented onto it)
+        self._node_spans: Dict[str, Any] = {}
 
     # -- submission ----------------------------------------------------------------
     def submit(self, descriptions: List[TaskDescription],
@@ -283,7 +291,18 @@ class CampaignRunner:
         """Submit descriptions under the campaign's backpressure window."""
         if not descriptions:
             return []
-        tasks = self.tmgr.submit_tasks(descriptions, window=self.window)
+        obs = self.session.observability
+        tracer = obs.tracer if obs is not None else None
+        span = self._node_spans.get(node) if tracer is not None else None
+        if span is not None:
+            # submit_tasks runs synchronously, so the ambient parent is
+            # scoped to exactly this node's batch
+            tracer.context_parent = span
+        try:
+            tasks = self.tmgr.submit_tasks(descriptions, window=self.window)
+        finally:
+            if span is not None:
+                tracer.context_parent = None
         if node:
             self.node_tasks.setdefault(node, []).extend(tasks)
         return tasks
@@ -372,6 +391,19 @@ class CampaignRunner:
                             for g, ctx in zip(graphs, contexts)})
         self._restore_frontier(run, checkpoint_key, checkpoint_bytes)
 
+        obs = self.session.observability
+        if obs is not None:
+            if obs.tracer is not None:
+                run.camp_span = obs.tracer.start_span(
+                    uid, "campaign",
+                    attrs={"graphs": names,
+                           "nodes": sum(len(g) for g in graphs)})
+            if obs.metrics is not None:
+                run.frontier_gauge = obs.metrics.gauge(
+                    "campaign_frontier_size", {"campaign": uid})
+                run.nodes_counter = obs.metrics.counter(
+                    "campaign_nodes_completed_total", {"campaign": uid})
+
         profiler.record(engine.now, uid, start_event, "workflow")
         log.info("campaign %s: %d graph(s), %d node(s) at t=%.1f", uid,
                  len(graphs), sum(len(g) for g in graphs), engine.now)
@@ -386,19 +418,23 @@ class CampaignRunner:
                     run, state, graph.nodes[name], f"{prefix}.{name}",
                     node_start, node_stop)))
         try:
-            if procs:
-                yield engine.all_of(procs)
-        except Interrupt:
-            for proc in procs:
-                if proc.is_alive:
-                    proc.interrupt("campaign interrupted")
-            raise
-        if run.ckpt is not None and run.completed_since_save:
-            yield from self._save_frontier(run)
-        failures = [exc for state in run.states.values()
-                    for exc in state.failures]
-        if failures:
-            raise failures[0]
+            try:
+                if procs:
+                    yield engine.all_of(procs)
+            except Interrupt:
+                for proc in procs:
+                    if proc.is_alive:
+                        proc.interrupt("campaign interrupted")
+                raise
+            if run.ckpt is not None and run.completed_since_save:
+                yield from self._save_frontier(run)
+            failures = [exc for state in run.states.values()
+                        for exc in state.failures]
+            if failures:
+                raise failures[0]
+        finally:
+            if run.camp_span is not None:
+                obs.tracer.end_span(run.camp_span)
         profiler.record(engine.now, uid, stop_event, "workflow")
         return contexts[0] if single else contexts
 
@@ -408,9 +444,13 @@ class CampaignRunner:
         """Per-node process: wait for inputs, execute, settle the node."""
         engine = self.session.engine
         profiler = self.session.profiler
+        obs = self.session.observability
+        tracer = obs.tracer if obs is not None else None
         graph = state.graph
         done = state.done[node.name]
         key = f"{graph.name}/{node.name}"
+        span = None
+        live = False
         try:
             if node.deps:
                 yield engine.all_of([state.done[d] for d in node.deps])
@@ -421,6 +461,13 @@ class CampaignRunner:
             profiler.record(engine.now, node_uid, start_event, "workflow")
             log.info("%s: node %s ready at t=%.1f", graph.name, node.name,
                      engine.now)
+            live = True
+            if run.frontier_gauge is not None:
+                run.frontier_gauge.inc()
+            if tracer is not None:
+                span = tracer.start_span(key, "campaign_node",
+                                         parent=run.camp_span)
+                self._node_spans[key] = span
             if node.run is not None:
                 yield from node.run(NodeRunner(self, key), state.context)
             else:
@@ -431,6 +478,8 @@ class CampaignRunner:
                     node.collect(state.context, tasks)
             state.status[node.name] = "done"
             profiler.record(engine.now, node_uid, stop_event, "workflow")
+            if run.nodes_counter is not None:
+                run.nodes_counter.inc()
             # settle *before* checkpointing: dependents stream while the
             # frontier save's transfer is still crossing the fabric
             done.succeed("done")
@@ -453,6 +502,13 @@ class CampaignRunner:
             log.warning("%s: node %s failed: %s", graph.name, node.name, exc)
             if not done.triggered:
                 done.succeed("failed")
+        finally:
+            if span is not None:
+                span.set_attr("status", state.status.get(node.name))
+                tracer.end_span(span)
+                self._node_spans.pop(key, None)
+            if live and run.frontier_gauge is not None:
+                run.frontier_gauge.dec()
 
     # -- frontier checkpoints --------------------------------------------------------
     def _restore_frontier(self, run: _CampaignRun, checkpoint_key: str,

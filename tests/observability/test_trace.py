@@ -1,0 +1,147 @@
+"""The tracing plane: spans, exports, and offline profile reconstruction."""
+
+import json
+
+from repro import Session, spans_from_profiler
+from repro.observability.trace import Tracer
+from repro.pilot import Profiler
+from repro.pilot.states import TaskState
+
+
+class TestTracerApi:
+    def test_span_ids_and_parent_links(self):
+        with Session(seed=1) as session:
+            tracer = Tracer(session)
+            root = tracer.start_span("root", "test")
+            child = tracer.start_span("child", "test", parent=root)
+            other = tracer.start_span("other", "test")
+            assert child.trace_id == root.trace_id
+            assert child.parent_id == root.span_id
+            assert other.trace_id != root.trace_id
+            assert other.parent_id is None
+            assert len(tracer) == 3
+
+    def test_end_span_stamps_sim_time_idempotently(self):
+        with Session(seed=1) as session:
+            tracer = Tracer(session)
+            span = tracer.start_span("s")
+            assert span.open and span.duration is None
+            session.run(until=session.engine.timeout(3.0))
+            tracer.end_span(span)
+            assert span.end == 3.0 and span.duration == 3.0
+            session.run(until=session.engine.timeout(1.0))
+            tracer.end_span(span)  # already closed: no restamp
+            assert span.end == 3.0
+
+    def test_queries(self):
+        with Session(seed=1) as session:
+            tracer = Tracer(session)
+            a = tracer.start_span("a", "x")
+            tracer.start_span("b", "y", parent=a)
+            assert [s.name for s in tracer.spans_of_trace(a.trace_id)] \
+                == ["a", "b"]
+            assert [s.name for s in tracer.find(category="y")] == ["b"]
+            assert [s.name for s in tracer.find(name="a")] == ["a"]
+
+    def test_set_attr_and_as_dict(self):
+        with Session(seed=1) as session:
+            tracer = Tracer(session)
+            span = tracer.start_span("s", "cat", attrs={"k": 1})
+            span.set_attr("k2", "v")
+            d = span.as_dict()
+            assert d["attrs"] == {"k": 1, "k2": "v"}
+            assert d["name"] == "s" and d["category"] == "cat"
+
+
+class TestExports:
+    def _tracer_with_spans(self, session):
+        tracer = Tracer(session)
+        root = tracer.start_span("task.0", "task")
+        child = tracer.start_span("execute", "task", parent=root)
+        session.run(until=session.engine.timeout(2.0))
+        tracer.end_span(child)
+        tracer.end_span(root)
+        return tracer
+
+    def test_chrome_trace_events_shape(self):
+        with Session(seed=1) as session:
+            tracer = self._tracer_with_spans(session)
+            events = tracer.chrome_trace_events()
+            meta = [e for e in events if e["ph"] == "M"]
+            complete = [e for e in events if e["ph"] == "X"]
+            assert len(meta) == 1  # one track per trace, named after root
+            assert meta[0]["args"]["name"] == "task.0"
+            assert len(complete) == 2
+            for e in complete:
+                assert e["pid"] == 1 and e["tid"] == meta[0]["tid"]
+                assert e["ts"] == 0.0 and e["dur"] == 2e6  # microseconds
+            by_name = {e["name"]: e for e in complete}
+            assert by_name["execute"]["args"]["parent_id"] \
+                == by_name["task.0"]["args"]["span_id"]
+
+    def test_to_chrome_trace_file(self, tmp_path):
+        with Session(seed=1) as session:
+            tracer = self._tracer_with_spans(session)
+            path = tmp_path / "trace.json"
+            assert tracer.to_chrome_trace(str(path)) == 2
+            payload = json.loads(path.read_text())
+            assert payload["displayTimeUnit"] == "ms"
+            assert len(payload["traceEvents"]) == 3
+
+    def test_to_jsonl(self, tmp_path):
+        with Session(seed=1) as session:
+            tracer = self._tracer_with_spans(session)
+            path = tmp_path / "spans.jsonl"
+            assert tracer.to_jsonl(str(path)) == 2
+            lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+            assert [ln["name"] for ln in lines] == ["task.0", "execute"]
+            assert lines[1]["parent_id"] == lines[0]["span_id"]
+
+
+class TestSpansFromProfiler:
+    def _record_lifecycle(self, profiler, uid, t0):
+        for i, state in enumerate([
+                TaskState.TMGR_SCHEDULING, TaskState.TMGR_STAGING_INPUT,
+                TaskState.AGENT_SCHEDULING, TaskState.AGENT_EXECUTING,
+                TaskState.TMGR_STAGING_OUTPUT, TaskState.DONE]):
+            profiler.record(t0 + i, uid, f"state:{state}", "tmgr")
+
+    def test_rebuilds_phase_spans(self):
+        profiler = Profiler(level="durations")
+        self._record_lifecycle(profiler, "task.0", 0.0)
+        spans = spans_from_profiler(profiler)
+        root = spans[0]
+        assert root.name == "task.0" and root.parent_id is None
+        assert (root.start, root.end) == (0.0, 5.0)
+        phases = {s.name: s for s in spans[1:]}
+        assert set(phases) == {"schedule", "stage_in", "agent_queue",
+                               "execute", "stage_out"}
+        # each phase is closed by the next state's first stamp
+        assert (phases["execute"].start, phases["execute"].end) == (3.0, 4.0)
+        assert all(s.parent_id == root.span_id for s in spans[1:])
+        assert all(s.trace_id == root.trace_id for s in spans[1:])
+
+    def test_multiple_tasks_get_distinct_traces(self):
+        profiler = Profiler(level="durations")
+        self._record_lifecycle(profiler, "task.0", 0.0)
+        self._record_lifecycle(profiler, "task.1", 10.0)
+        spans = spans_from_profiler(profiler)
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 2
+        assert roots[0].trace_id != roots[1].trace_id
+
+    def test_explicit_uids_and_empty_profile(self):
+        profiler = Profiler(level="durations")
+        self._record_lifecycle(profiler, "task.0", 0.0)
+        assert spans_from_profiler(profiler, uids=["ghost"]) == []
+        assert len(spans_from_profiler(profiler, uids=["task.0"])) == 6
+
+    def test_round_trip_through_jsonl(self, tmp_path):
+        profiler = Profiler(level="durations")
+        self._record_lifecycle(profiler, "task.0", 0.0)
+        path = tmp_path / "profile.jsonl"
+        profiler.to_jsonl(str(path))
+        reloaded = Profiler.from_jsonl(str(path))
+        original = [s.as_dict() for s in spans_from_profiler(profiler)]
+        rebuilt = [s.as_dict() for s in spans_from_profiler(reloaded)]
+        assert rebuilt == original

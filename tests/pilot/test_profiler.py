@@ -178,3 +178,82 @@ class TestRetention:
         p.record(1.0, "t", "a")
         p.clear()
         assert len(p) == 0 and p.recorded == 0
+
+
+class TestUidIndex:
+    def test_uid_queries_match_linear_scan(self):
+        p = Profiler()
+        for i in range(100):
+            p.record(float(i), f"t{i % 7}", f"e{i % 3}")
+        for uid in {f"t{i}" for i in range(7)}:
+            indexed = p.events(uid=uid)
+            scanned = [r for r in p._rows if r.uid == uid]
+            assert indexed == scanned
+
+    def test_ring_eviction_prunes_the_index_exactly(self):
+        p = Profiler(max_rows=4, retention="ring")
+        for i in range(10):
+            p.record(float(i), f"t{i % 3}", "ev")
+        # the index holds exactly the retained rows, per uid, in order
+        for uid in ("t0", "t1", "t2"):
+            assert p.events(uid=uid) == \
+                [r for r in p._rows if r.uid == uid]
+        # uids whose every row was evicted vanish from the index
+        p2 = Profiler(max_rows=1, retention="ring")
+        p2.record(0.0, "old", "ev")
+        p2.record(1.0, "new", "ev")
+        assert p2.events(uid="old") == []
+        assert "old" not in p2._by_uid
+
+    def test_bound_retention_index_stops_at_cap(self):
+        p = Profiler(max_rows=2)
+        p.record(0.0, "a", "x")
+        p.record(1.0, "a", "y")
+        p.record(2.0, "a", "z")  # dropped past the bound
+        assert [r.event for r in p.events(uid="a")] == ["x", "y"]
+
+
+class TestJsonlPersistence:
+    def _populate(self, p):
+        p.record(1.0, "t0", "start", "tmgr")
+        p.record(2.0, "t0", "stop", "tmgr")
+        p.record(3.0, "t1", "start", "agent")
+        return p
+
+    def test_round_trip_full_tier(self, tmp_path):
+        p = self._populate(Profiler())
+        path = tmp_path / "p.jsonl"
+        assert p.to_jsonl(str(path)) == 1 + 3 + 3  # meta + firsts + rows
+        q = Profiler.from_jsonl(str(path))
+        assert q.level == p.level and q.max_rows == p.max_rows
+        assert q.events() == p.events()
+        assert q._first == p._first
+        assert q.recorded == p.recorded and q.dropped == p.dropped
+        assert q.uids_with_event("start") == ["t0", "t1"]
+
+    def test_round_trip_durations_tier(self, tmp_path):
+        p = self._populate(Profiler(level="durations"))
+        path = tmp_path / "p.jsonl"
+        p.to_jsonl(str(path))
+        q = Profiler.from_jsonl(str(path))
+        assert q.level == "durations" and len(q) == 0
+        assert q.duration("t0", "start", "stop") == 1.0
+
+    def test_round_trip_ring_preserves_window_and_stamps(self, tmp_path):
+        p = Profiler(max_rows=2, retention="ring")
+        self._populate(p)  # evicts the t=1.0 row
+        path = tmp_path / "p.jsonl"
+        p.to_jsonl(str(path))
+        q = Profiler.from_jsonl(str(path))
+        assert q.retention == "ring" and q.max_rows == 2
+        assert q.events() == p.events()
+        # the evicted row's first stamp survives via the "f" lines
+        assert q.timestamp("t0", "start") == 1.0
+        assert q.dropped == p.dropped
+
+    def test_uid_index_rebuilt_on_load(self, tmp_path):
+        p = self._populate(Profiler())
+        path = tmp_path / "p.jsonl"
+        p.to_jsonl(str(path))
+        q = Profiler.from_jsonl(str(path))
+        assert [r.event for r in q.events(uid="t0")] == ["start", "stop"]

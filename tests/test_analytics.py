@@ -126,3 +126,139 @@ class TestReport:
         stats = dist_stats([])
         assert stats.n == 0
         assert np.isnan(stats.mean)
+
+
+class TestReportEdgeCases:
+    def test_render_table_without_title(self):
+        out = render_table(["h1", "h2"], [["a", "b"]])
+        lines = out.splitlines()
+        assert len(lines) == 3  # header, separator, one row
+        assert "h1" in lines[0]
+
+    def test_render_table_no_rows(self):
+        out = render_table(["only", "headers"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "-+-" in lines[1]
+
+    def test_render_table_cell_formatting(self):
+        # strings pass through, floats go through format_seconds, the
+        # rest through str()
+        out = render_table(["c"], [["raw"], [0.0025], [7], [None]])
+        assert "raw" in out
+        assert "2.500 ms" in out
+        assert "7" in out and "None" in out
+
+    def test_format_seconds_negative_values(self):
+        assert format_seconds(-2.5) == "-2.50 s"
+        assert format_seconds(-0.0025) == "-2.500 ms"
+
+    def test_format_seconds_boundaries(self):
+        assert format_seconds(1.0) == "1.00 s"
+        assert format_seconds(1e-3) == "1.000 ms"
+        assert format_seconds(0.0) == "0.0 µs"
+
+    def test_add_kv_empty_mapping(self):
+        text = ReportBuilder("T").add_kv({}).render()
+        assert "# T" in text
+
+    def test_add_kv_alignment_and_float_formatting(self):
+        text = ReportBuilder("T").add_kv(
+            {"a": 1, "long_key": 0.5}, title="facts").render()
+        lines = text.splitlines()
+        (a_line,) = [ln for ln in lines if ": 1" in ln]
+        (f_line,) = [ln for ln in lines if "500.000 ms" in ln]
+        assert a_line.index(":") == f_line.index(":")
+
+    def test_builder_chaining_returns_self(self):
+        rb = ReportBuilder("T")
+        assert rb.add_text("x") is rb
+        assert rb.add_table(["h"], []) is rb
+        assert rb.add_kv({}) is rb
+
+    def test_print_writes_rendered_report(self, capsys):
+        ReportBuilder("T").add_text("body").print()
+        out = capsys.readouterr().out
+        assert "# T" in out and "body" in out
+
+
+class TestCampaignMetricsEdgeCases:
+    @staticmethod
+    def _task(session, uid, t0=None, t1=None, cores=1, state="DONE"):
+        from types import SimpleNamespace
+        if t0 is not None:
+            session.profiler.record(t0, uid, "exec_start", "agent")
+        if t1 is not None:
+            session.profiler.record(t1, uid, "exec_stop", "agent")
+        return SimpleNamespace(uid=uid, state=state, n_cores=cores)
+
+    def test_empty_groups(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            m = campaign_metrics(session, {}, total_cores=8)
+            assert (m.n_tasks, m.n_done, m.n_nodes) == (0, 0, 0)
+            assert m.makespan_s == 0.0 and m.busy_core_s == 0.0
+            assert np.isnan(m.idle_fraction)
+            assert np.isnan(m.overlap_fraction)
+            assert m.peak_concurrency == 0
+
+    def test_single_task_group(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            task = self._task(session, "t0", 0.0, 10.0, cores=4)
+            m = campaign_metrics(session, {"g": [task]}, total_cores=8)
+            assert (m.n_tasks, m.n_done, m.n_nodes) == (1, 1, 1)
+            assert m.makespan_s == 10.0
+            assert m.busy_core_s == pytest.approx(40.0)
+            assert m.idle_fraction == pytest.approx(0.5)
+            # one group can never overlap with itself
+            assert m.overlap_fraction == 0.0
+            assert m.peak_concurrency == 1 and m.peak_busy_cores == 4
+
+    def test_tasks_without_exec_window_are_skipped(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            ran = self._task(session, "t0", 0.0, 4.0)
+            never = self._task(session, "t1", state="FAILED")
+            partial = self._task(session, "t2", t0=1.0)  # no stop stamp
+            m = campaign_metrics(session, {"g": [ran, never, partial]},
+                                 total_cores=4)
+            assert m.n_tasks == 3 and m.n_done == 2
+            assert m.busy_core_s == pytest.approx(4.0)
+
+    def test_all_tasks_skipped_yields_nan(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            never = self._task(session, "t0", state="FAILED")
+            m = campaign_metrics(session, {"g": [never]}, total_cores=4)
+            assert m.n_tasks == 1 and m.n_done == 0
+            assert np.isnan(m.idle_fraction)
+            assert m.makespan_s == 0.0
+
+    def test_span_override_and_validation(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            task = self._task(session, "t0", 0.0, 10.0)
+            m = campaign_metrics(session, {"g": [task]}, total_cores=1,
+                                 span_s=20.0)
+            assert m.makespan_s == 20.0
+            assert m.idle_fraction == pytest.approx(0.5)
+            with pytest.raises(ValueError, match="total_cores"):
+                campaign_metrics(session, {}, total_cores=0)
+
+    def test_row_is_flat_and_readable(self):
+        from repro import Session
+        from repro.analytics import campaign_metrics
+        with Session(seed=1) as session:
+            task = self._task(session, "t0", 0.0, 3600.0)
+            row = campaign_metrics(session, {"g": [task]},
+                                   total_cores=2).row()
+            assert row["tasks"] == "1/1"
+            assert row["busy_core_h"] == pytest.approx(1.0)
+            assert set(row) == {"makespan_s", "tasks", "busy_core_h",
+                                "idle_frac", "overlap_frac", "peak_tasks"}
