@@ -4,6 +4,12 @@ Every benchmark regenerates one table or figure of the paper: it runs the
 corresponding experiment configuration, prints the series the paper plots
 (visible with ``pytest -s``), and appends it to
 ``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+Benchmarks that pass a :class:`~repro.observability.bench.BenchResult`
+additionally persist a machine-readable ``<name>.bench.json`` next to the
+``.txt`` -- the structured series the continuous-benchmarking regression
+gate (``python -m repro.observability.regress``) aggregates into the
+checked-in ``BENCH_<suite>.json`` baselines at the repo root.
 """
 
 import os
@@ -20,13 +26,30 @@ def pytest_configure(config):
 
 @pytest.fixture
 def emit(request):
-    """Print a report and persist it under benchmarks/results/."""
+    """Print a report and persist it under benchmarks/results/.
 
-    def _emit(report) -> None:
+    ``emit(report)`` keeps the historical behavior (rendered ``.txt``).
+    ``emit(report, bench=result)`` also writes the structured record:
+    the fixture fills in the benchmark name (the test's node name) and
+    suite (the module name, ``test_`` stripped) and stamps the
+    environment, so tests only record params and metrics.
+    """
+
+    def _emit(report, bench=None) -> None:
         text = report.render() if hasattr(report, "render") else str(report)
         print("\n" + text + "\n")
         path = RESULTS_DIR / f"{request.node.name}.txt"
         path.write_text(text + "\n")
+        if bench is not None:
+            from repro.observability.bench import RESULT_SUFFIX, env_stamp
+            if not bench.name:
+                bench.name = request.node.name
+            if not bench.suite:
+                module = request.node.module.__name__
+                bench.suite = module[len("test_"):] \
+                    if module.startswith("test_") else module
+            bench.env = env_stamp()
+            bench.write(RESULTS_DIR / f"{request.node.name}{RESULT_SUFFIX}")
 
     return _emit
 

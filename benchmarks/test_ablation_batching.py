@@ -23,6 +23,7 @@ from repro.analytics import (
     run_autoscaled_workload,
     run_service_workload,
 )
+from repro.observability import BenchResult
 
 from conftest import bench_scale
 
@@ -122,19 +123,33 @@ def test_ablation_batching_and_autoscaling(benchmark, emit):
         "throughput at 64 clients); llama batching trades mild RT "
         "degradation for aggregate throughput; bounded queues convert "
         "tail queueing into shed/retry; the autoscaler rides the burst.")
-    emit(report)
 
-    # -- acceptance ------------------------------------------------------------
     serial_rps = results["noop"]["serial (ollama)"].metrics.throughput(
         results["noop"]["serial (ollama)"].makespan_s)
     batched_rps = results["noop"]["batched b=64"].metrics.throughput(
         results["noop"]["batched b=64"].makespan_s)
+    llama_rps = {k: r.metrics.throughput(r.makespan_s)
+                 for k, r in results["llama"].items()}
+    bench = BenchResult(params={"n_clients": N_CLIENTS,
+                                "n_requests": N_REQUESTS})
+    bench.record("noop_serial_rps", serial_rps, unit="req/s")
+    bench.record("noop_batch64_rps", batched_rps, unit="req/s")
+    bench.record("noop_batching_speedup", batched_rps / serial_rps,
+                 unit="x", floor=2.0, scale_free=True)
+    bench.record("llama_b8_over_b1",
+                 llama_rps["b=8"] / llama_rps["b=1"], unit="x",
+                 floor=1.0, scale_free=True)
+    bench.record("bound2_queue_p95_s",
+                 results["bound"]["bound=2"].metrics.queue_stats.p95,
+                 unit="s", direction="lower")
+    bench.record("bound2_shed", results["bound"]["bound=2"].shed_total)
+    emit(report, bench=bench)
+
+    # -- acceptance ------------------------------------------------------------
     assert batched_rps >= 2.0 * serial_rps, \
         "continuous batching must at least double NOOP throughput"
 
     # llama: batching raises aggregate throughput
-    llama_rps = {k: r.metrics.throughput(r.makespan_s)
-                 for k, r in results["llama"].items()}
     assert llama_rps["b=8"] > llama_rps["b=1"]
 
     # bounded admission sheds under saturation and cuts tail queueing

@@ -25,14 +25,30 @@ depth, live driver generators), trading a controlled amount of makespan
 for bounded control-plane pressure.  The peak-in-flight bound is asserted
 exactly.
 
+**Study 3 -- performance attribution.**  The streaming campaign re-run
+with the telemetry plane on: the span forest must *name the culprit* --
+the critical path's top contributor has to be a straggling ``train`` node
+with ``execute`` as its dominant phase -- and every what-if projection
+(zero-cost transfers, infinite nodes, no recovery) must be a sound lower
+bound on the measured makespan.  The same test exercises the regression
+gate end-to-end: the CLI passes when a baseline agrees with itself and
+fails (non-zero exit) on a doctored baseline demanding 2x the measured
+throughput.
+
 The >= 2x speedup floor and the idle/overlap orderings double as the CI
 smoke: a regression that re-introduces a stage barrier (or breaks
 windowed submission) fails this module at any ``REPRO_BENCH_SCALE``.
 """
 
-from conftest import bench_scale
+import json
 
+from conftest import RESULTS_DIR, bench_scale
+
+from repro import ObservabilityConfig
 from repro.analytics import ReportBuilder, campaign_metrics
+from repro.observability import BenchResult
+from repro.observability.bench import aggregate as bench_aggregate
+from repro.observability.regress import main as regress_main
 from repro.pilot import (
     PilotDescription,
     PilotManager,
@@ -117,8 +133,9 @@ def barrier_pipeline(n_items: int) -> Pipeline:
     return Pipeline(name="hybrid-barrier", stages=stages)
 
 
-def environment(seed: int = 7):
-    session = Session(seed=seed, profile="durations")
+def environment(seed: int = 7, observability=None):
+    session = Session(seed=seed, profile="durations",
+                      observability=observability)
     pmgr = PilotManager(session)
     tmgr = TaskManager(session)
     (pilot,) = pmgr.submit_pilots(
@@ -199,7 +216,23 @@ class TestStreamingVsBarrier:
                                     f"{MIN_SPEEDUP:.1f}x)",
                 "idle core-h saved": f"{(barrier.alloc_core_s - streaming.alloc_core_s) / 3600.0:.1f}",
             }, title="verdict"))
-        emit(report)
+
+        bench = BenchResult(params={
+            "n_items": N_ITEMS, "n_nodes": N_NODES,
+            "straggler_factor": STRAGGLER_FACTOR})
+        bench.record("barrier_makespan_s", barrier_makespan, unit="s",
+                     direction="lower")
+        bench.record("streaming_makespan_s", streaming_makespan, unit="s",
+                     direction="lower")
+        bench.record("streaming_speedup", speedup, unit="x",
+                     floor=MIN_SPEEDUP, scale_free=True)
+        bench.record("streaming_idle_fraction", streaming.idle_fraction,
+                     direction="lower")
+        bench.record("barrier_idle_fraction", barrier.idle_fraction,
+                     direction="lower")
+        bench.record("streaming_overlap_fraction",
+                     streaming.overlap_fraction)
+        emit(report, bench=bench)
 
         # same work completed either way
         assert barrier.n_done == streaming.n_done == \
@@ -229,7 +262,18 @@ class TestBackpressureWindow:
                 rows,
                 title=f"{N_ITEMS}-item streaming campaign under "
                       "windowed submission"))
-        emit(report)
+
+        bench = BenchResult(params={"n_items": N_ITEMS,
+                                    "windows": [w or 0 for w in WINDOWS]})
+        bench.record("unbounded_makespan_s", results[None][0], unit="s",
+                     direction="lower")
+        for window in WINDOWS[1:]:
+            bench.record(f"window{window}_makespan_s",
+                         results[window][0], unit="s", direction="lower")
+            bench.record(f"window{window}_peak_in_flight",
+                         results[window][2], direction="lower",
+                         floor=float(window), scale_free=True)
+        emit(report, bench=bench)
 
         for window in WINDOWS:
             makespan, metrics, peak = results[window]
@@ -239,3 +283,94 @@ class TestBackpressureWindow:
         # backpressure trades makespan monotonically: the tighter window
         # can not run faster than the unbounded campaign
         assert results[None][0] <= results[WINDOWS[1]][0] + 1e-6
+
+
+class TestAttributionStudy:
+    """The streaming campaign under the performance-attribution engine."""
+
+    def test_critical_path_names_the_straggler(self, emit, tmp_path):
+        config = ObservabilityConfig(sample_interval_s=30.0,
+                                     dashboard=True,
+                                     dashboard_interval_s=60.0)
+        session, tmgr = environment(observability=config)
+        with session:
+            runner = CampaignRunner(session, tmgr)
+            proc = session.engine.process(
+                runner.run_campaign(streaming_graph(N_ITEMS)))
+            session.run(until=proc)
+            makespan = session.now          # before the drain moves the clock
+            session.quiesce()
+            session.run()
+            attribution = session.attribution(makespan=makespan)
+            summary = session.observability.dashboard.summary(
+                attribution=attribution,
+                title="Streaming campaign -- end-of-run telemetry")
+        # the CI-artifact postmortem: dashboard + attribution in one text
+        (RESULTS_DIR / "campaign_dashboard_summary.txt").write_text(
+            summary + "\n")
+
+        path = attribution.critical_path()
+        top = attribution.top_contributors(1)[0]
+        projections = attribution.projections()
+
+        report = ReportBuilder(
+            "Ablation: performance attribution of the straggler-heavy "
+            "streaming campaign")
+        report.add_text(attribution.report(
+            title=f"{N_ITEMS}-item hybrid campaign, {N_NODES} delta nodes"))
+
+        bench = BenchResult(params={"n_items": N_ITEMS,
+                                    "n_nodes": N_NODES})
+        bench.record("actual_makespan_s", makespan, unit="s",
+                     direction="lower")
+        bench.record("critical_path_nodes", len(path), direction="lower")
+        bench.record("top_contributor_s", top.duration, unit="s",
+                     direction="lower")
+        bench.record("dag_bound_fraction",
+                     projections["dependencies_only"].bound / makespan)
+        throughput = (N_ITEMS * len(STAGES) + 1) / makespan
+        bench.record("streaming_throughput_tasks_per_s", throughput,
+                     unit="tasks/s", floor=round(0.5 * throughput, 3))
+        emit(report, bench=bench)
+
+        # -- acceptance --------------------------------------------------------
+        # the critical path names the culprit: a straggling train node,
+        # dominated by its execute phase
+        graph_name, node = top.key.split("/", 1)
+        stage, item = node.rsplit("-", 1)
+        assert graph_name == "hybrid-streaming"
+        assert stage == "train", f"top contributor {top.key} is not train"
+        assert int(item) % len(STAGES) == 2, \
+            f"{top.key} is not a train straggler (items 2 mod 4 straggle)"
+        assert top.dominant_phase == "execute"
+        # execute dominates the on-path phase mix too
+        path_phases = attribution.critical_path_phases()
+        assert max(path_phases, key=path_phases.get) == "execute"
+
+        # every what-if projection is a sound lower bound
+        assert attribution.validate() == []
+        for projection in projections.values():
+            assert projection.bound <= makespan + 1e-6
+        # dropping phases can only lower the bound
+        full = projections["dependencies_only"].bound
+        for name in ("infinite_nodes", "zero_cost_transfers",
+                     "no_recovery"):
+            assert projections[name].bound <= full + 1e-9
+
+        # -- the regression gate, end to end -----------------------------------
+        # a baseline agrees with itself ...
+        doc = bench_aggregate([bench])[bench.suite]
+        new_path = tmp_path / "new.json"
+        new_path.write_text(json.dumps(doc))
+        assert regress_main([str(new_path), str(new_path),
+                             "--quiet"]) == 0
+        # ... and a doctored baseline demanding 2x the measured
+        # throughput makes the CLI exit non-zero
+        doctored = json.loads(json.dumps(doc))
+        metric = doctored["benchmarks"][bench.name]["metrics"][
+            "streaming_throughput_tasks_per_s"]
+        metric["floor"] = 2.0 * metric["value"]
+        old_path = tmp_path / "doctored.json"
+        old_path.write_text(json.dumps(doctored))
+        assert regress_main([str(old_path), str(new_path),
+                             "--quiet"]) == 1

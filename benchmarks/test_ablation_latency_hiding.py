@@ -12,6 +12,7 @@ of requests in flight.
 import pytest
 
 from repro.analytics import ReportBuilder, run_service_workload
+from repro.observability import BenchResult
 
 TOTAL_REQUESTS = 8192
 N_SERVICES = 16
@@ -43,12 +44,25 @@ def test_ablation_latency_hiding(benchmark, emit):
         "varying requests in flight")
     report.add_table(["in-flight (clients)", "RT(mean)", "communication",
                       "req/s", "makespan"], rows)
-    emit(report)
 
-    # per-request RT stays flat (latency-bound)...
     rts = [results[c].metrics.rt_stats.mean for c in CLIENT_COUNTS]
-    assert max(rts) < min(rts) * 1.5
-    # ...while aggregate throughput scales near-linearly with concurrency
     tp1 = results[1].metrics.throughput(results[1].makespan_s)
     tp16 = results[16].metrics.throughput(results[16].makespan_s)
+    # this module ignores REPRO_BENCH_SCALE (fixed request volume), so
+    # every sim-time metric is scale-free by construction
+    bench = BenchResult(params={"total_requests": TOTAL_REQUESTS,
+                                "n_services": N_SERVICES})
+    bench.record("throughput_1_client_rps", tp1, unit="req/s",
+                 scale_free=True)
+    bench.record("throughput_16_clients_rps", tp16, unit="req/s",
+                 scale_free=True)
+    bench.record("concurrency_scaling_16", tp16 / tp1, unit="x",
+                 floor=8.0, scale_free=True)
+    bench.record("rt_flatness", max(rts) / min(rts), unit="x",
+                 direction="lower", floor=1.5, scale_free=True)
+    emit(report, bench=bench)
+
+    # per-request RT stays flat (latency-bound)...
+    assert max(rts) < min(rts) * 1.5
+    # ...while aggregate throughput scales near-linearly with concurrency
     assert tp16 > tp1 * 8

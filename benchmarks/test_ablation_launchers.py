@@ -12,6 +12,7 @@ import pytest
 
 from repro.analytics import ReportBuilder, run_experiment1
 from repro.hpc import FRONTIER, register_platform
+from repro.observability import BenchResult
 
 N_SERVICES = 320
 METHODS = ("MPIEXEC", "SSH", "FORK")
@@ -47,9 +48,18 @@ def test_ablation_launch_methods(benchmark, emit):
         "(Frontier topology)")
     report.add_table(["launcher", "launch(mean)", "init(mean)", "BT(mean)",
                       "all-ready"], rows)
-    emit(report)
 
     launch = {m: results[m].row()["launch_mean_s"] for m in METHODS}
+    # fixed 320-service study: no REPRO_BENCH_SCALE knob, scale-free
+    bench = BenchResult(params={"n_services": N_SERVICES})
+    for method in METHODS:
+        bench.record(f"launch_mean_{method.lower()}_s", launch[method],
+                     unit="s", direction="lower", scale_free=True)
+    bench.record("mpiexec_over_ssh_launch",
+                 launch["MPIEXEC"] / launch["SSH"], unit="x",
+                 floor=1.5, scale_free=True)
+    emit(report, bench=bench)
+
     assert launch["FORK"] < launch["SSH"] < launch["MPIEXEC"]
     # beyond the knee, MPI launch pays a multiple of SSH's cost
     assert launch["MPIEXEC"] > 1.5 * launch["SSH"]

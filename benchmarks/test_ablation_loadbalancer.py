@@ -16,6 +16,7 @@ from repro.core import (
     RandomBalancer,
     RoundRobinBalancer,
 )
+from repro.observability import BenchResult
 from repro.sim import RngHub
 
 MODELS = ["llama-8b", "llama-8b", "llama-8b", "llama-70b"]
@@ -58,10 +59,23 @@ def test_ablation_load_balancing_policies(benchmark, emit):
     report.add_text(
         "Least-loaded routing avoids queueing on the slow instance; "
         "round-robin (the paper's rudimentary policy) and random pay for it.")
-    emit(report)
 
     rr = results["round-robin"].metrics.rt_stats.mean
     ll = results["least-loaded"].metrics.rt_stats.mean
+    # fixed heterogeneous-fleet study: no REPRO_BENCH_SCALE knob
+    bench = BenchResult(params={"n_clients": N_CLIENTS,
+                                "n_requests": N_REQUESTS,
+                                "models": MODELS})
+    bench.record("round_robin_rt_mean_s", rr, unit="s", direction="lower",
+                 scale_free=True)
+    bench.record("least_loaded_rt_mean_s", ll, unit="s", direction="lower",
+                 scale_free=True)
+    bench.record("least_loaded_rt_gain", rr / ll, unit="x", floor=1.0,
+                 scale_free=True)
+    bench.record("least_loaded_makespan_s",
+                 results["least-loaded"].makespan_s, unit="s",
+                 direction="lower", scale_free=True)
+    emit(report, bench=bench)
     assert ll < rr, "least-loaded should beat round-robin on a skewed fleet"
     # and it should translate into real makespan gains
     assert results["least-loaded"].makespan_s < \

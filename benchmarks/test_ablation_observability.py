@@ -33,6 +33,7 @@ from conftest import RESULTS_DIR, bench_scale
 
 from repro import ObservabilityConfig
 from repro.analytics import ReportBuilder
+from repro.observability import BenchResult
 from repro.hpc import NodeList
 from repro.pilot import (
     PilotDescription,
@@ -161,4 +162,15 @@ def test_observability_overhead(emit):
         "spans exported": n_spans,
     }, title="CI artifact")
 
-    emit(report)
+    # wall-clock rates vary per machine: floor-gated, never drift-gated
+    bench = BenchResult(params={"depth": DEPTH, "e2e_tasks": E2E_TASKS})
+    bench.record("grants_per_s_off", off, unit="grants/s",
+                 floor=MIN_GRANTS_PER_S, scale_free=True,
+                 deterministic=False)
+    bench.record("metrics_on_throughput_ratio", on / off, unit="x",
+                 floor=MIN_METRICS_RATIO, scale_free=True,
+                 deterministic=False)
+    bench.record("e2e_full_plane_ratio", e2e_full / e2e_off, unit="x",
+                 deterministic=False)
+    bench.record("spans_exported", float(n_spans))
+    emit(report, bench=bench)

@@ -35,6 +35,7 @@ from repro import (
     TaskManager,
 )
 from repro.analytics import ReportBuilder, dist_stats, failure_metrics
+from repro.observability import BenchResult
 from repro.pilot.states import TaskState
 
 #: campaign shape: ROUNDS dependent waves of TASKS_PER_ROUND tasks.
@@ -210,7 +211,25 @@ def test_ablation_resilience(benchmark, emit):
         f"{eff_sc * 100:.0f}%); without recovery the campaign commits "
         f"{results['mtbf harsh none']['committed_core_s'] / WORKLOAD_CORE_S * 100:.0f}% "
         "of its workload before collapsing.")
-    emit(report)
+
+    # fixed-size campaign (see ROUNDS comment above): scale-free metrics
+    bench = BenchResult(params={"rounds": ROUNDS,
+                                "tasks_per_round": TASKS_PER_ROUND,
+                                "heartbeat_s": HEARTBEAT_S})
+    bench.record("checkpoint_goodput_efficiency", eff_ck, floor=0.9,
+                 scale_free=True)
+    bench.record("scratch_goodput_efficiency", eff_sc, scale_free=True)
+    bench.record(
+        "no_recovery_committed_fraction",
+        results["mtbf harsh none"]["committed_core_s"] / WORKLOAD_CORE_S,
+        direction="lower", floor=0.5, scale_free=True)
+    bench.record("fault_free_goodput_core_per_s", base_goodput_rate,
+                 unit="core-s/s", scale_free=True)
+    bench.record("detection_latency_min_s", det.min, unit="s",
+                 floor=HEARTBEAT_S, scale_free=True)
+    bench.record("detection_latency_max_s", det.max, unit="s",
+                 direction="lower", floor=5 * HEARTBEAT_S, scale_free=True)
+    emit(report, bench=bench)
 
     # -- acceptance ------------------------------------------------------------
     # fault-free baseline completes everything with zero waste

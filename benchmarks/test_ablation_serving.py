@@ -11,6 +11,7 @@ measure what it buys under the saturated Fig. 6 strong-scaling point
 import pytest
 
 from repro.analytics import ReportBuilder, run_service_workload
+from repro.observability import BenchResult
 
 N_CLIENTS = 16
 N_SERVICES = 2
@@ -52,10 +53,24 @@ def test_ablation_serving_backends(benchmark, emit):
         "Batching trades slightly slower individual inferences for a "
         "drained queue: throughput rises by roughly the effective batch "
         "width.")
-    emit(report)
 
     serial = results["ollama (serial)"]
     batched = results["vllm (batch=8)"]
+    serial_rps = serial.metrics.throughput(serial.makespan_s)
+    batched_rps = batched.metrics.throughput(batched.makespan_s)
+    # fixed saturation point: no REPRO_BENCH_SCALE knob
+    bench = BenchResult(params={"n_clients": N_CLIENTS,
+                                "n_services": N_SERVICES,
+                                "n_requests": N_REQUESTS})
+    bench.record("serial_rps", serial_rps, unit="req/s", scale_free=True)
+    bench.record("batched_rps", batched_rps, unit="req/s", scale_free=True)
+    bench.record("batching_throughput_gain", batched_rps / serial_rps,
+                 unit="x", floor=2.0, scale_free=True)
+    bench.record("batched_queue_over_serial",
+                 batched.metrics.component_means()["service"]
+                 / serial.metrics.component_means()["service"],
+                 unit="x", direction="lower", floor=0.5, scale_free=True)
+    emit(report, bench=bench)
     # queueing collapses and throughput multiplies
     assert batched.metrics.component_means()["service"] < \
         serial.metrics.component_means()["service"] / 2

@@ -10,7 +10,10 @@ all three observability planes on, then:
 * prints the sampled metric series (pending depth, utilization, frontier
   size) and the latency/grant histograms;
 * prints the anomaly log -- the injected straggler shows up flagged
-  against the rolling median of its resource shape.
+  against the rolling median of its resource shape;
+* prints the live-dashboard postmortem: final instrument values plus the
+  performance attribution -- phase totals, the critical path (which pins
+  the straggler's ``execute`` phase), and what-if makespan lower bounds.
 
 Run:  python examples/observability.py
 """
@@ -46,7 +49,8 @@ def build_graph():
 
 
 def main() -> None:
-    config = ObservabilityConfig(sample_interval_s=5.0)
+    config = ObservabilityConfig(sample_interval_s=5.0, dashboard=True,
+                                 dashboard_interval_s=30.0)
     with Session(seed=9, observability=config) as session:
         pmgr = PilotManager(session)
         tmgr = TaskManager(session)
@@ -98,6 +102,15 @@ def main() -> None:
              for e in obs.monitors.events],
             title="anomaly log")
         report.print()
+
+        # the end-of-run postmortem: dashboard summary + attribution.
+        # the critical path pins sim-straggler's execute phase; every
+        # what-if projection is a validated makespan lower bound.
+        attribution = session.attribution(makespan=makespan)
+        assert attribution.validate() == []
+        print()
+        print(obs.dashboard.summary(attribution=attribution,
+                                    title="End-of-run postmortem"))
 
 
 if __name__ == "__main__":

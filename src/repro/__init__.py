@@ -49,6 +49,9 @@ from .pilot import (
 from .data import DataConfig, DataServices
 from .observability import (
     AnomalyEvent,
+    BenchResult,
+    CampaignAttribution,
+    Dashboard,
     ObservabilityConfig,
     ObservabilityServices,
     spans_from_profiler,
@@ -84,6 +87,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyEvent",
+    "BenchResult",
+    "CampaignAttribution",
+    "Dashboard",
     "CheckpointPolicy",
     "DataConfig",
     "DataManager",

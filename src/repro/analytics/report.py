@@ -68,6 +68,22 @@ class ReportBuilder:
         self._sections.append(text)
         return self
 
+    def add_bars(self, mapping: Dict[str, float], title: str = "",
+                 width: int = 40) -> "ReportBuilder":
+        """Horizontal ASCII bar chart, scaled to the largest value.
+
+        Used by the attribution engine's phase-breakdown summaries: a
+        dominant phase should *look* dominant in a terminal.
+        """
+        lines = [title] if title else []
+        peak = max(mapping.values(), default=0.0)
+        key_width = max((len(k) for k in mapping), default=0)
+        for key, value in mapping.items():
+            bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+            lines.append(f"  {key.ljust(key_width)} |{bar} {value:g}")
+        self._sections.append("\n".join(lines))
+        return self
+
     def add_kv(self, mapping: Dict[str, object],
                title: str = "") -> "ReportBuilder":
         lines = [title] if title else []

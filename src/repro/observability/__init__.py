@@ -33,6 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from .attribution import (
+    CampaignAttribution,
+    NodeAttribution,
+    PathStep,
+    Projection,
+    TaskPhases,
+)
+from .bench import BenchMetric, BenchResult
+from .dashboard import Dashboard
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import AnomalyEvent, MonitorHub
 from .trace import Span, Tracer, spans_from_profiler
@@ -45,7 +54,10 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ObservabilityConfig", "ObservabilityServices",
            "Tracer", "Span", "spans_from_profiler",
            "MetricsRegistry", "Counter", "Gauge", "Histogram",
-           "MonitorHub", "AnomalyEvent"]
+           "MonitorHub", "AnomalyEvent",
+           "CampaignAttribution", "NodeAttribution", "TaskPhases",
+           "PathStep", "Projection", "Dashboard",
+           "BenchResult", "BenchMetric"]
 
 
 @dataclass
@@ -65,6 +77,12 @@ class ObservabilityConfig:
     monitors: bool = True
     #: simulated seconds between metric samples
     sample_interval_s: float = 5.0
+
+    #: run the live text dashboard daemon (renders periodic snapshots of
+    #: gauges/histograms and recent anomalies; needs the metrics plane)
+    dashboard: bool = False
+    #: simulated seconds between dashboard snapshots
+    dashboard_interval_s: float = 60.0
 
     # straggler detection: exec time > k x rolling median of same shape
     straggler_k: float = 3.0
@@ -103,6 +121,10 @@ class ObservabilityServices:
             MetricsRegistry() if self.config.metrics else None)
         self.monitors: Optional[MonitorHub] = (
             MonitorHub(self.config) if self.config.monitors else None)
+        self.dashboard: Optional[Dashboard] = None
+        if self.config.dashboard and self.metrics is not None:
+            self.dashboard = Dashboard(
+                session, interval_s=self.config.dashboard_interval_s)
         if self.metrics is not None:
             if self.monitors is not None:
                 # queue-growth detection scans the sampled series each tick
@@ -113,6 +135,22 @@ class ObservabilityServices:
             proc = session.engine.process(
                 self.metrics.sampler(session, self.config.sample_interval_s))
             session.add_daemon(proc)
+
+    # -- interpretation --------------------------------------------------------
+    def attribution(self, makespan: Optional[float] = None,
+                    ) -> CampaignAttribution:
+        """Performance attribution built from the live span forest.
+
+        Requires the tracing plane; see
+        :class:`~repro.observability.attribution.CampaignAttribution`
+        for the offline (profiler-based) constructors.
+        """
+        if self.tracer is None:
+            raise RuntimeError(
+                "attribution needs the tracing plane "
+                "(ObservabilityConfig(tracing=True))")
+        return CampaignAttribution.from_tracer(self.tracer,
+                                               makespan=makespan)
 
     # -- task lifecycle glue ---------------------------------------------------
     def attach_task_manager(self, tmgr: "TaskManager") -> None:

@@ -1,0 +1,303 @@
+"""Structured benchmark results: the machine-readable half of the harness.
+
+Benchmarks have always rendered human-readable ``.txt`` reports; nothing
+machine-readable survived a run, so the repo's performance *trajectory*
+was empty -- a regression had to be noticed by a human re-reading ASCII
+tables.  This module fixes that:
+
+* a :class:`BenchResult` records one benchmark's parameters, an
+  environment stamp (python, platform, ``REPRO_BENCH_SCALE``) and a set
+  of named :class:`BenchMetric` values, each carrying the metadata a
+  regression gate needs: the *direction* of goodness, an optional
+  absolute *floor*, whether the value is *scale-free* (comparable across
+  ``REPRO_BENCH_SCALE`` settings) and whether it is *deterministic*
+  (sim-time values that reproduce exactly under a fixed seed, as opposed
+  to wall-clock throughputs that vary per machine);
+* the ``emit`` fixture (``benchmarks/conftest.py``) writes each result as
+  ``<test>.bench.json`` next to the ``.txt`` report;
+* :func:`aggregate` folds a results directory into per-suite baseline
+  documents, checked in as ``BENCH_<suite>.json`` at the repo root;
+* :mod:`repro.observability.regress` compares two baselines and exits
+  non-zero on regressions -- the CI gate.
+
+Comparison rules (implemented in :func:`compare`):
+
+* **floors** are absolute bounds baked into the baseline; a new value on
+  the wrong side of the *old* baseline's floor is a regression.  Checked
+  whenever the metric is scale-free or the two environments ran at the
+  same ``REPRO_BENCH_SCALE``;
+* **relative drift** beyond the tolerance is a regression for
+  *deterministic* metrics only (wall-clock values differ across machines;
+  their floors are deliberately conservative instead), and only when the
+  two environments ran at the same ``REPRO_BENCH_SCALE`` -- scale-free
+  marks a metric's *floor* as scale-invariant (the acceptance asserts
+  hold at any scale), not its exact value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["BenchMetric", "BenchResult", "Regression", "env_stamp",
+           "aggregate", "write_baselines", "load_results", "load_baseline",
+           "compare"]
+
+DIRECTIONS = ("higher", "lower")
+
+
+def env_stamp() -> Dict[str, Any]:
+    """The environment fingerprint stamped onto every result."""
+    return {
+        "python": _platform.python_version(),
+        "platform": sys.platform,
+        "bench_scale": int(os.environ.get("REPRO_BENCH_SCALE", "1")),
+    }
+
+
+@dataclass
+class BenchMetric:
+    """One named measurement with its regression-gate metadata."""
+
+    name: str
+    value: float
+    unit: str = ""
+    #: which way is better
+    direction: str = "higher"
+    #: absolute bound the value must stay on the right side of
+    floor: Optional[float] = None
+    #: comparable across differing REPRO_BENCH_SCALE environments
+    scale_free: bool = False
+    #: reproduces exactly under a fixed seed (sim-time values); wall-clock
+    #: measurements set False and are gated by their floor only
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+        self.value = float(self.value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"value": self.value,
+                               "direction": self.direction}
+        if self.unit:
+            out["unit"] = self.unit
+        if self.floor is not None:
+            out["floor"] = self.floor
+        if self.scale_free:
+            out["scale_free"] = True
+        if not self.deterministic:
+            out["deterministic"] = False
+        return out
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Any]) -> "BenchMetric":
+        return cls(name=name, value=data["value"],
+                   unit=data.get("unit", ""),
+                   direction=data.get("direction", "higher"),
+                   floor=data.get("floor"),
+                   scale_free=data.get("scale_free", False),
+                   deterministic=data.get("deterministic", True))
+
+    def meets_floor(self, value: Optional[float] = None) -> bool:
+        """Is *value* (default: own value) on the right side of the floor?"""
+        if self.floor is None:
+            return True
+        v = self.value if value is None else value
+        return v >= self.floor if self.direction == "higher" \
+            else v <= self.floor
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run's structured record."""
+
+    name: str = ""
+    suite: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    env: Dict[str, Any] = field(default_factory=env_stamp)
+    metrics: Dict[str, BenchMetric] = field(default_factory=dict)
+
+    def record(self, name: str, value: float, unit: str = "",
+               direction: str = "higher", floor: Optional[float] = None,
+               scale_free: bool = False,
+               deterministic: bool = True) -> BenchMetric:
+        """Add (or replace) one metric; returns it for chaining."""
+        metric = BenchMetric(name=name, value=value, unit=unit,
+                             direction=direction, floor=floor,
+                             scale_free=scale_free,
+                             deterministic=deterministic)
+        self.metrics[name] = metric
+        return metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "params": self.params,
+            "env": self.env,
+            "metrics": {n: m.to_dict() for n, m in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=data.get("name", ""),
+            suite=data.get("suite", ""),
+            params=data.get("params", {}),
+            env=data.get("env", {}),
+            metrics={n: BenchMetric.from_dict(n, m)
+                     for n, m in data.get("metrics", {}).items()})
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+
+# -- aggregation: per-test results -> per-suite baselines ---------------------
+
+RESULT_SUFFIX = ".bench.json"
+BASELINE_PREFIX = "BENCH_"
+BASELINE_VERSION = 1
+
+
+def load_results(directory: Union[str, Path]) -> List[BenchResult]:
+    """Every ``*.bench.json`` under *directory*, name-sorted."""
+    out = []
+    for path in sorted(Path(directory).glob(f"*{RESULT_SUFFIX}")):
+        out.append(BenchResult.from_dict(json.loads(path.read_text())))
+    return out
+
+
+def aggregate(results: Iterable[BenchResult]) -> Dict[str, Dict[str, Any]]:
+    """Fold results into per-suite baseline documents (suite -> doc)."""
+    suites: Dict[str, Dict[str, Any]] = {}
+    for result in results:
+        suite = result.suite or "default"
+        doc = suites.get(suite)
+        if doc is None:
+            doc = suites[suite] = {"version": BASELINE_VERSION,
+                                   "suite": suite, "env": result.env,
+                                   "benchmarks": {}}
+        doc["benchmarks"][result.name] = {
+            "params": result.params,
+            "metrics": {n: m.to_dict() for n, m in result.metrics.items()},
+        }
+    return suites
+
+
+def write_baselines(results: Iterable[BenchResult],
+                    out_dir: Union[str, Path]) -> List[Path]:
+    """Write one ``BENCH_<suite>.json`` per suite; returns the paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for suite, doc in sorted(aggregate(results).items()):
+        path = out_dir / f"{BASELINE_PREFIX}{suite}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+# -- comparison ---------------------------------------------------------------
+
+@dataclass
+class Regression:
+    """One detected regression (or structural comparison problem)."""
+
+    benchmark: str
+    metric: str
+    kind: str            # "floor" | "drift" | "missing"
+    message: str
+    old: Optional[float] = None
+    new: Optional[float] = None
+
+
+def compare(old: Dict[str, Any], new: Dict[str, Any],
+            tolerance: float = 0.15,
+            ) -> Tuple[List[Regression], List[str]]:
+    """Compare two baseline documents; returns (regressions, notes).
+
+    Scale-awareness: when the two environments ran at different
+    ``REPRO_BENCH_SCALE`` values, only metrics marked ``scale_free`` are
+    gated (by their floors -- drift needs identical scales) -- everything
+    else is skipped with a note, never failed.
+    Benchmarks present in *old* but absent from *new* produce notes (CI
+    may legitimately run a subset); metrics absent from *new* inside a
+    benchmark both sides ran are regressions (a silently dropped series
+    is exactly what the gate exists to catch).
+    """
+    regressions: List[Regression] = []
+    notes: List[str] = []
+    same_scale = (old.get("env", {}).get("bench_scale")
+                  == new.get("env", {}).get("bench_scale"))
+    if not same_scale:
+        notes.append(
+            f"bench_scale differs (old={old.get('env', {}).get('bench_scale')}"
+            f" new={new.get('env', {}).get('bench_scale')}): "
+            "only scale-free metrics are gated")
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    for bench_name, old_bench in sorted(old_benches.items()):
+        new_bench = new_benches.get(bench_name)
+        if new_bench is None:
+            notes.append(f"{bench_name}: absent from the new run (skipped)")
+            continue
+        new_metrics = new_bench.get("metrics", {})
+        for metric_name, old_data in sorted(
+                old_bench.get("metrics", {}).items()):
+            metric = BenchMetric.from_dict(metric_name, old_data)
+            comparable = same_scale or metric.scale_free
+            new_data = new_metrics.get(metric_name)
+            if new_data is None:
+                if comparable:
+                    regressions.append(Regression(
+                        benchmark=bench_name, metric=metric_name,
+                        kind="missing",
+                        message=f"{bench_name}.{metric_name}: metric "
+                                "vanished from the new run",
+                        old=metric.value))
+                continue
+            new_value = float(new_data["value"])
+            if not comparable:
+                notes.append(f"{bench_name}.{metric_name}: skipped "
+                             "(scale mismatch, not scale-free)")
+                continue
+            if not metric.meets_floor(new_value):
+                regressions.append(Regression(
+                    benchmark=bench_name, metric=metric_name, kind="floor",
+                    message=(f"{bench_name}.{metric_name}: {new_value:g} "
+                             f"violates the baseline floor {metric.floor:g} "
+                             f"({metric.direction} is better)"),
+                    old=metric.value, new=new_value))
+                continue
+            if not metric.deterministic or not same_scale:
+                # wall-clock values and cross-scale comparisons are
+                # floor-gated only: exact values don't reproduce there
+                continue
+            if metric.direction == "higher":
+                drifted = new_value < metric.value * (1.0 - tolerance)
+            else:
+                drifted = new_value > metric.value * (1.0 + tolerance)
+            if drifted:
+                change = ((new_value - metric.value) / metric.value
+                          if metric.value else float("inf"))
+                regressions.append(Regression(
+                    benchmark=bench_name, metric=metric_name, kind="drift",
+                    message=(f"{bench_name}.{metric_name}: "
+                             f"{metric.value:g} -> {new_value:g} "
+                             f"({change:+.1%}, tolerance {tolerance:.0%}, "
+                             f"{metric.direction} is better)"),
+                    old=metric.value, new=new_value))
+    return regressions, notes

@@ -1,0 +1,154 @@
+"""Live text dashboard: periodic telemetry snapshots in simulated time.
+
+The metrics registry accumulates series and the monitor hub accumulates
+anomalies, but during a long campaign nobody *sees* them until the run
+ends.  The :class:`Dashboard` is a session daemon (registered through
+:meth:`~repro.pilot.session.Session.add_daemon`, interrupted by
+``quiesce()`` like every other keep-alive loop) that renders a compact
+text snapshot every ``interval_s`` simulated seconds:
+
+* every **gauge**'s current value and every **counter**'s total;
+* every **histogram**'s count / mean / p50 / p99;
+* the most recent :class:`~repro.observability.monitor.AnomalyEvent`\\ s.
+
+Snapshots accumulate on :attr:`Dashboard.snapshots`; pass ``sink=print``
+(or any callable) to stream them somewhere as they render.  On quiesce
+the daemon cancels its armed timer (no clock drag in the drain) and takes
+one final snapshot, so drain-time values appear.
+
+:meth:`Dashboard.summary` renders the end-of-run report -- final
+instrument values, the anomaly log, and (when tracing was on) the full
+performance-attribution section from
+:mod:`repro.observability.attribution` -- through the analytics report
+layer, so the campaign postmortem reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..sim.events import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pilot.session import Session
+    from .attribution import CampaignAttribution
+
+__all__ = ["Dashboard"]
+
+
+class Dashboard:
+    """Periodic telemetry snapshot renderer (a session daemon)."""
+
+    def __init__(self, session: "Session", interval_s: float = 60.0,
+                 max_events: int = 5,
+                 sink: Optional[Callable[[str], None]] = None) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.session = session
+        self.interval_s = interval_s
+        self.max_events = max_events
+        self.sink = sink
+        self.snapshots: List[str] = []
+        proc = session.engine.process(self._loop())
+        session.add_daemon(proc)
+
+    # -- the daemon ----------------------------------------------------------
+    def _loop(self):
+        engine = self.session.engine
+        while True:
+            timeout = engine.timeout(self.interval_s)
+            try:
+                yield timeout
+            except Interrupt:
+                timeout.cancel()
+                self._snap()
+                return
+            self._snap()
+
+    def _snap(self) -> None:
+        text = self.snapshot()
+        self.snapshots.append(text)
+        if self.sink is not None:
+            self.sink(text)
+
+    # -- rendering -----------------------------------------------------------
+    @staticmethod
+    def _label(instrument) -> str:
+        if not instrument.labels:
+            return instrument.name
+        inner = ",".join(f"{k}={v}" for k, v in instrument.labels)
+        return f"{instrument.name}{{{inner}}}"
+
+    def snapshot(self) -> str:
+        """One rendered snapshot of the current telemetry state."""
+        obs = self.session.observability
+        lines = [f"== telemetry @ t={self.session.now:.1f}s =="]
+        registry = obs.metrics if obs is not None else None
+        if registry is None:
+            lines.append("  (metrics plane off)")
+        else:
+            by_kind = {"gauge": [], "counter": [], "histogram": []}
+            for inst in registry.instruments():
+                by_kind[inst.kind].append(inst)
+            for kind in ("gauge", "counter"):
+                for inst in sorted(by_kind[kind], key=self._label):
+                    lines.append(
+                        f"  {kind:<9} {self._label(inst):<44} "
+                        f"{inst.value:g}")
+            for inst in sorted(by_kind["histogram"], key=self._label):
+                lines.append(
+                    f"  histogram {self._label(inst):<44} "
+                    f"count={inst.count} mean={inst.mean:.3f} "
+                    f"p50={inst.quantile(0.5):g} p99={inst.quantile(0.99):g}")
+            if not registry.instruments():
+                lines.append("  (no instruments registered yet)")
+        monitors = obs.monitors if obs is not None else None
+        if monitors is not None and monitors.events:
+            lines.append(f"  -- recent anomalies "
+                         f"({len(monitors.events)} total) --")
+            for event in monitors.events[-self.max_events:]:
+                lines.append(f"  [{event.severity:>8}] t={event.t:.1f} "
+                             f"{event.kind}: {event.message}")
+        return "\n".join(lines)
+
+    def summary(self,
+                attribution: Optional["CampaignAttribution"] = None,
+                title: str = "End-of-run telemetry summary") -> str:
+        """The end-of-run report, through the analytics report layer.
+
+        With no *attribution* given, one is built from the live tracer
+        when the tracing plane is on (and silently omitted otherwise).
+        """
+        from ..analytics.report import ReportBuilder
+
+        obs = self.session.observability
+        builder = ReportBuilder(title)
+        registry = obs.metrics if obs is not None else None
+        if registry is not None:
+            rows = []
+            for inst in sorted(registry.instruments(), key=self._label):
+                value = (f"count={inst.count} mean={inst.mean:.3f} "
+                         f"p99={inst.quantile(0.99):g}"
+                         if inst.kind == "histogram" else f"{inst.value:g}")
+                rows.append([inst.kind, self._label(inst), value])
+            if rows:
+                builder.add_table(["kind", "instrument", "final value"],
+                                  rows, title="instruments")
+            builder.add_kv({"samples taken": len(registry.sample_times),
+                            "snapshots rendered": len(self.snapshots)},
+                           title="sampling")
+        monitors = obs.monitors if obs is not None else None
+        if monitors is not None:
+            counts = {}
+            for event in monitors.events:
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+            builder.add_kv(counts or {"anomalies": 0},
+                           title="anomaly events by kind")
+        if attribution is None and obs is not None \
+                and obs.tracer is not None and obs.tracer.spans:
+            from .attribution import CampaignAttribution
+            attribution = CampaignAttribution.from_tracer(obs.tracer)
+        text = builder.render()
+        if attribution is not None and attribution.nodes:
+            text += "\n\n" + attribution.report()
+        return text

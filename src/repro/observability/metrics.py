@@ -21,6 +21,7 @@ All values live in simulated time; nothing here touches the wall clock.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
@@ -123,20 +124,27 @@ class Histogram(_Instrument):
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bucket bound containing the q-quantile (0 if empty).
+        """Upper bound of the bucket holding the q-quantile (0 if empty).
 
-        Values beyond the last finite bucket report that last bound -- the
-        usual fixed-bucket estimator caveat.
+        Rank semantics: the q-quantile of *n* observations is the
+        ``max(1, ceil(q*n))``-th smallest, so ``q=0.0`` reports the
+        bucket of the minimum (not the first -- possibly empty -- bucket
+        bound) and ``q=1.0`` the bucket of the maximum.  A single
+        observation answers every *q* with its own bucket.  Values beyond
+        the last finite bucket report that last bound -- the usual
+        fixed-bucket estimator caveat.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if not self.count:
             return 0.0
-        target = q * self.count
+        # the small epsilon keeps ceil() from inflating an exact product
+        # (q=0.2 of 5 observations is rank 1, not rank 2)
+        rank = max(1, math.ceil(q * self.count - 1e-9))
         cumulative = 0
         for i, c in enumerate(self.counts):
             cumulative += c
-            if cumulative >= target:
+            if cumulative >= rank:
                 return self.buckets[min(i, len(self.buckets) - 1)]
         return self.buckets[-1]
 

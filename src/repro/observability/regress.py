@@ -1,0 +1,89 @@
+"""The continuous-benchmarking regression gate (CLI).
+
+Two modes:
+
+* **compare** (the gate)::
+
+      python -m repro.observability.regress old.json new.json \\
+          --tolerance 0.15
+
+  compares two ``BENCH_<suite>.json`` baseline documents (see
+  :mod:`repro.observability.bench` for the schema and the scale-aware
+  comparison rules) and exits **1** when any regression is found --
+  floor violations, relative drift of deterministic metrics beyond the
+  tolerance, or metrics that vanished.  Exit 0 otherwise.  CI wires this
+  against the checked-in repo-root baselines.
+
+* **aggregate** (baseline refresh)::
+
+      python -m repro.observability.regress \\
+          --aggregate benchmarks/results --out-dir .
+
+  folds the per-test ``*.bench.json`` records a benchmark run left under
+  ``benchmarks/results/`` into per-suite ``BENCH_<suite>.json`` files.
+  Run with ``--out-dir .`` at the repo root to refresh the checked-in
+  baselines after an intentional performance change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import compare, load_baseline, load_results, write_baselines
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.regress",
+        description="Benchmark baseline comparator / aggregator.")
+    parser.add_argument("old", nargs="?",
+                        help="checked-in baseline BENCH_<suite>.json")
+    parser.add_argument("new", nargs="?",
+                        help="freshly aggregated BENCH_<suite>.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative drift allowed for deterministic "
+                             "metrics (default 0.15)")
+    parser.add_argument("--aggregate", metavar="RESULTS_DIR",
+                        help="fold *.bench.json results into per-suite "
+                             "baselines instead of comparing")
+    parser.add_argument("--out-dir", default=".",
+                        help="where --aggregate writes BENCH_<suite>.json "
+                             "(default: current directory)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-note output")
+    args = parser.parse_args(argv)
+
+    if args.aggregate:
+        results = load_results(args.aggregate)
+        if not results:
+            print(f"regress: no *.bench.json results under "
+                  f"{args.aggregate}", file=sys.stderr)
+            return 2
+        for path in write_baselines(results, args.out_dir):
+            print(f"wrote {path}")
+        return 0
+
+    if not args.old or not args.new:
+        parser.error("compare mode needs both OLD and NEW baselines "
+                     "(or use --aggregate)")
+    regressions, notes = compare(load_baseline(args.old),
+                                 load_baseline(args.new),
+                                 tolerance=args.tolerance)
+    if not args.quiet:
+        for note in notes:
+            print(f"note: {note}")
+    for regression in regressions:
+        print(f"REGRESSION [{regression.kind}] {regression.message}")
+    if regressions:
+        print(f"regress: {len(regressions)} regression(s) vs {args.old}")
+        return 1
+    print(f"regress: ok ({args.new} vs {args.old})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -169,6 +169,22 @@ class Session:
         from ..workflows.campaign import CampaignRunner
         return CampaignRunner(self, task_manager, window=window)
 
+    # -- performance attribution facade ------------------------------------------
+    def attribution(self, makespan: Optional[float] = None):
+        """Performance attribution from the live telemetry plane.
+
+        Shorthand for ``session.observability.attribution()``: the span
+        forest interpreted as per-task phase breakdowns, the campaign
+        critical path, and what-if makespan lower bounds (see
+        :mod:`repro.observability.attribution`).  Requires the session to
+        run with ``observability=`` and the tracing plane on.
+        """
+        if self.observability is None:
+            raise RuntimeError(
+                "attribution needs the telemetry plane: create the "
+                "session with observability=ObservabilityConfig()")
+        return self.observability.attribution(makespan=makespan)
+
     # -- real-work execution (realtime mode) ------------------------------------
     @property
     def worker_pool(self) -> ThreadPoolExecutor:

@@ -161,6 +161,16 @@ class CampaignGraph:
         """Node names in one valid topological order (deterministic)."""
         return list(self._topo)
 
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """Dependency edges: node name -> the names it depends on.
+
+        The structure the attribution engine walks for critical-path
+        extraction (:mod:`repro.observability.attribution`); the live
+        tracer stamps the same edges onto campaign-node spans so offline
+        and online attribution agree.
+        """
+        return {name: node.deps for name, node in self.nodes.items()}
+
     def __len__(self) -> int:
         return len(self.nodes)
 
@@ -465,8 +475,14 @@ class CampaignRunner:
             if run.frontier_gauge is not None:
                 run.frontier_gauge.inc()
             if tracer is not None:
-                span = tracer.start_span(key, "campaign_node",
-                                         parent=run.camp_span)
+                # the deps attr carries the graph's dependency edges into
+                # the span forest, so critical-path attribution can be
+                # rebuilt from the trace alone (no graph object needed)
+                span = tracer.start_span(
+                    key, "campaign_node", parent=run.camp_span,
+                    attrs={"graph": graph.name,
+                           "deps": [f"{graph.name}/{d}"
+                                    for d in node.deps]})
                 self._node_spans[key] = span
             if node.run is not None:
                 yield from node.run(NodeRunner(self, key), state.context)

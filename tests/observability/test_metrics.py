@@ -51,6 +51,36 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram("bad", (), buckets=())
 
+    def test_quantile_rank_semantics(self):
+        # the q-quantile of n observations is the max(1, ceil(q*n))-th
+        # smallest: q=0 pins the minimum's bucket, q=1 the maximum's
+        h = Histogram("lat", (), buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in (3.0, 5.0, 7.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 4.0  # min is 3.0, not the empty 1.0
+        assert h.quantile(1.0) == 8.0
+        # exact rank products must not be inflated by ceil():
+        # q=1/3 of 3 observations is rank 1 exactly
+        assert h.quantile(1.0 / 3.0) == 4.0
+        assert h.quantile(2.0 / 3.0) == 8.0
+
+    def test_quantile_single_observation_answers_every_q(self):
+        h = Histogram("lat", (), buckets=(1.0, 2.0, 4.0))
+        h.observe(3.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 4.0
+
+    def test_quantile_exact_bucket_edges_five_observations(self):
+        h = Histogram("lat", (), buckets=(1.0, 2.0, 3.0, 4.0, 5.0))
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            h.observe(v)
+        # q=0.2 of 5 observations is rank 1 (the minimum), not rank 2
+        assert h.quantile(0.2) == 1.0
+        assert h.quantile(0.4) == 2.0
+        assert h.quantile(0.6) == 3.0
+        assert h.quantile(0.8) == 4.0
+        assert h.quantile(0.5) == 3.0  # rank ceil(2.5) = 3
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):

@@ -145,3 +145,47 @@ class TestSpansFromProfiler:
         original = [s.as_dict() for s in spans_from_profiler(profiler)]
         rebuilt = [s.as_dict() for s in spans_from_profiler(reloaded)]
         assert rebuilt == original
+
+    def test_retry_loop_yields_recovery_and_reschedule_phases(self):
+        profiler = Profiler(level="durations")
+        for t, state in [(0.0, TaskState.TMGR_SCHEDULING),
+                         (1.0, TaskState.TMGR_STAGING_INPUT),
+                         (2.0, TaskState.AGENT_SCHEDULING),
+                         (3.0, TaskState.AGENT_EXECUTING),
+                         (8.0, TaskState.FAILED),
+                         (10.0, TaskState.RESCHEDULING),
+                         # the second attempt revisits these states: only
+                         # first timestamps are retained by the profiler
+                         (12.0, TaskState.AGENT_SCHEDULING),
+                         (13.0, TaskState.AGENT_EXECUTING),
+                         (20.0, TaskState.TMGR_STAGING_OUTPUT),
+                         (21.0, TaskState.DONE)]:
+            profiler.record(t, "task.r", f"state:{state}", "tmgr")
+        spans = spans_from_profiler(profiler)
+        root = spans[0]
+        assert (root.start, root.end) == (0.0, 21.0)
+        phases = {(s.name): (s.start, s.end) for s in spans[1:]}
+        assert phases == {
+            "schedule": (0.0, 1.0),
+            "stage_in": (1.0, 2.0),
+            "agent_queue": (2.0, 3.0),
+            "execute": (3.0, 8.0),      # first attempt only
+            "recovery": (8.0, 10.0),
+            "reschedule": (10.0, 20.0),  # spans the whole second attempt
+            "stage_out": (20.0, 21.0),
+        }
+
+    def test_ring_retention_survives_row_eviction(self):
+        # a tiny ring keeps only the last 3 raw rows, but first timestamps
+        # live outside the ring: reconstruction must not degrade
+        full = Profiler(level="durations")
+        ring = Profiler(level="full", retention="ring", max_rows=3)
+        for uid, t0 in (("task.0", 0.0), ("task.1", 10.0),
+                        ("task.2", 20.0), ("task.3", 30.0)):
+            self._record_lifecycle(full, uid, t0)
+            self._record_lifecycle(ring, uid, t0)
+        assert len(ring) == 3 and ring.dropped > 0  # tail-only retention
+        rebuilt = [s.as_dict() for s in spans_from_profiler(ring)]
+        reference = [s.as_dict() for s in spans_from_profiler(full)]
+        assert rebuilt == reference
+        assert len([s for s in rebuilt if s["parent_id"] is None]) == 4

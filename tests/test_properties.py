@@ -787,3 +787,33 @@ def test_submission_window_never_exceeds_capacity(capacity, n_tasks, chunk):
         assert all(t.state == "DONE" for t in tasks)
         assert window.peak <= capacity
         assert window.in_flight == 0
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=20.0,
+                                 allow_nan=False), max_size=60),
+       q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_histogram_quantile_matches_rank_oracle(values, q):
+    """Bucketed quantile == the exact rank statistic's bucket bound.
+
+    The q-quantile of n observations is the max(1, ceil(q*n))-th smallest
+    value; the histogram must report the upper bound of the bucket that
+    value falls in (last finite bound for overflow), and 0.0 when empty.
+    """
+    import bisect
+    import math
+
+    from repro.observability import Histogram
+
+    buckets = (1.0, 2.0, 4.0, 8.0, 16.0)
+    h = Histogram("lat", (), buckets=buckets)
+    for v in values:
+        h.observe(v)
+
+    if not values:
+        assert h.quantile(q) == 0.0
+        return
+    rank = max(1, math.ceil(q * len(values) - 1e-9))
+    exact = sorted(values)[rank - 1]
+    i = bisect.bisect_left(buckets, exact)
+    assert h.quantile(q) == buckets[min(i, len(buckets) - 1)]
