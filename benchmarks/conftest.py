@@ -12,6 +12,7 @@ gate (``python -m repro.observability.regress``) aggregates into the
 checked-in ``BENCH_<suite>.json`` baselines at the repo root.
 """
 
+import cProfile
 import os
 from pathlib import Path
 
@@ -22,6 +23,29 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def pytest_configure(config):
     RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """``REPRO_BENCH_PROFILE=1`` wraps every benchmark in cProfile.
+
+    Each test's profile lands next to its ``.bench.json`` as
+    ``benchmarks/results/<test>.pstats`` (load with ``pstats.Stats`` or
+    ``snakeviz``), so a regression flagged by the gate comes with the
+    call-level attribution needed to bisect it.  Profiling slows the
+    workload itself (the numbers are *relative* hotspots, not absolute
+    throughput), hence opt-in.
+    """
+    if not os.environ.get("REPRO_BENCH_PROFILE"):
+        yield
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        profile.dump_stats(str(RESULTS_DIR / f"{item.name}.pstats"))
 
 
 @pytest.fixture

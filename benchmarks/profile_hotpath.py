@@ -1,0 +1,83 @@
+"""cProfile harness for the control-plane hot loop.
+
+Profiles the same submit+drain workload as
+``test_ablation_sched_throughput.submit_drain_rate`` -- N mixed-shape
+tasks through the indexed scheduler, grant events triggering releases,
+one ``session.run()`` draining the campaign -- and prints the top
+functions by cumulative and internal time.  This is the harness that
+guided the kernel-flattening work (now-queue, pooled ``Deferred``
+dispatch, plan-cached ``Config`` defaults); re-run it before touching
+``sim/engine.py`` or ``pilot/agent/scheduler.py`` so optimisation stays
+measurement-driven.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py [N_TASKS] [N_NODES]
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --pstats out.pstats
+
+With ``--pstats`` the raw profile is written for ``snakeviz`` /
+``pstats`` browsing instead of the stdout summary.  For per-benchmark
+profiles of the full ablation suite, use ``REPRO_BENCH_PROFILE=1``
+with pytest (see ``benchmarks/conftest.py``).
+"""
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.hpc import NodeList
+from repro.pilot import Session, TaskDescription
+from repro.pilot.agent.scheduler import AgentScheduler
+from repro.pilot.task import Task
+
+SHAPES = [(1, 0), (2, 0), (4, 1), (8, 0)]
+
+
+def submit_drain(n_tasks: int, n_nodes: int) -> float:
+    """The profiled workload; returns sustained tasks/sec."""
+    with Session(seed=0, profile="durations") as session:
+        nodes = NodeList.build(n_nodes, 64, 8, 512.0)
+        sched = AgentScheduler(session, nodes, "pilot.prof")
+        t0 = time.perf_counter()
+        for i in range(n_tasks):
+            cores, gpus = SHAPES[i % len(SHAPES)]
+            desc = TaskDescription(executable="x", cores_per_rank=cores,
+                                   gpus_per_rank=gpus)
+            task = Task(session, desc, f"t{i}")
+            grant = sched.schedule(task)
+            grant.callbacks.append(lambda ev, t=task: sched.release(t))
+        session.run()
+        elapsed = time.perf_counter() - t0
+        assert sched.queue_length == 0 and not sched.held_tasks
+        return n_tasks / elapsed
+
+
+def main(argv) -> int:
+    pstats_out = None
+    if "--pstats" in argv:
+        i = argv.index("--pstats")
+        pstats_out = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
+    n_tasks = int(argv[0]) if argv else 50_000
+    n_nodes = int(argv[1]) if len(argv) > 1 else 1024
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    rate = submit_drain(n_tasks, n_nodes)
+    profiler.disable()
+
+    print(f"{n_tasks} tasks / {n_nodes} nodes: {rate:.0f} tasks/s")
+    if pstats_out:
+        profiler.dump_stats(pstats_out)
+        print(f"profile written to {pstats_out}")
+    else:
+        for sort in ("cumulative", "tottime"):
+            print(f"\n== top 25 by {sort} ==")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats(sort).print_stats(25)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

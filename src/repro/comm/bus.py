@@ -203,14 +203,15 @@ class MessageBus:
         dst = msg.recipient.platform
         delay = self.fabric.transfer_time(src, dst, msg.nbytes)
         msg.sent_at = self.engine.now
+        # Leaf wait: deliver via the engine's pooled direct-callback path
+        # instead of spawning a generator process per message.
+        self.engine.call_later(delay, self._land, (msg, inbox))
 
-        def fly():
-            yield self.engine.timeout(delay)
-            msg.received_at = self.engine.now
-            self.delivered_count += 1
-            inbox.put(msg)
-
-        self.engine.process(fly())
+    def _land(self, flight: Tuple[Message, Store]) -> None:
+        msg, inbox = flight
+        msg.received_at = self.engine.now
+        self.delivered_count += 1
+        inbox.put(msg)
 
     # -- pub/sub -------------------------------------------------------------------
     def subscribe(self, topic: str, platform: str) -> Subscription:
@@ -236,16 +237,15 @@ class MessageBus:
             if src is not None:
                 delay = self.fabric.transfer_time(src, sub.platform, msg.nbytes)
             msg.sent_at = self.engine.now
-
-            def fly(m: Message = msg, s: Subscription = sub, d: float = delay):
-                yield self.engine.timeout(d)
-                if s.active:
-                    m.received_at = self.engine.now
-                    self.delivered_count += 1
-                    s.inbox.put(m)
-
-            self.engine.process(fly())
+            self.engine.call_later(delay, self._land_pub, (msg, sub))
         return len(subs)
+
+    def _land_pub(self, flight: Tuple[Message, Subscription]) -> None:
+        msg, sub = flight
+        if sub.active:
+            msg.received_at = self.engine.now
+            self.delivered_count += 1
+            sub.inbox.put(msg)
 
     # -- RPC convenience -------------------------------------------------------------
     def serve(self, socket: ServerSocket,

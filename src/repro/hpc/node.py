@@ -179,12 +179,18 @@ class FreeCapacityIndex:
     the descent then visits and rejects that subtree's children.  With the
     homogeneous node pools of real allocations this is rare, and the worst
     case degenerates to the old linear scan, never worse.
+
+    *offset* lets an index cover a contiguous slice of a larger node array
+    (a scheduler shard): leaf position ``i`` then maps to the node whose
+    global ``index`` is ``offset + i``.  All ``lo``/``hi`` query bounds and
+    returned positions stay in local (slice) coordinates.
     """
 
     _MEM_EPS = 1e-9  # mirrors NodeState.fits' float-resolution slack
 
-    def __init__(self, nodes: List[NodeState]) -> None:
+    def __init__(self, nodes: List[NodeState], offset: int = 0) -> None:
         self._nodes = nodes
+        self._offset = offset
         n = len(nodes)
         size = 1
         while size < max(n, 1):
@@ -219,12 +225,38 @@ class FreeCapacityIndex:
             else self._mm[right]
 
     def update(self, node: NodeState, _kind: str = "") -> None:
-        """Point-update one node's leaf and its ancestors (O(log n))."""
-        self._write_leaf(node.index, node)
-        cell = (self._size + node.index) // 2
+        """Point-update one node's leaf and its ancestors.
+
+        O(log n) worst case, but the climb stops at the first ancestor
+        whose maxima are unchanged (allocating a few cores on one node of
+        a mostly-free pool rarely moves an upper-level maximum), which
+        makes the common case O(1) amortised on the placement hot path.
+        """
+        self._write_leaf(node.index - self._offset, node)
+        mc, mg, mm = self._mc, self._mg, self._mm
+        cell = (self._size + node.index - self._offset) // 2
         while cell >= 1:
-            self._pull(cell)
+            left, right = 2 * cell, 2 * cell + 1
+            nc = mc[left] if mc[left] >= mc[right] else mc[right]
+            ng = mg[left] if mg[left] >= mg[right] else mg[right]
+            nm = mm[left] if mm[left] >= mm[right] else mm[right]
+            if nc == mc[cell] and ng == mg[cell] and nm == mm[cell]:
+                return
+            mc[cell] = nc
+            mg[cell] = ng
+            mm[cell] = nm
             cell //= 2
+
+    def root_qualifies(self, cores: int, gpus: int = 0,
+                       mem_gb: float = 0.0) -> bool:
+        """Could *some* up node currently host one rank of this request?
+
+        O(1) necessary-condition check against the root maxima: when it
+        fails, no single node in the span fits the rank, so a multi-rank
+        request cannot place either.  Schedulers use this to keep parked
+        shapes asleep across capacity increases that cannot help them.
+        """
+        return self._qualifies(1, cores, gpus, mem_gb)
 
     def _qualifies(self, cell: int, cores: int, gpus: int,
                    mem_gb: float) -> bool:
@@ -305,6 +337,30 @@ class NodeList:
             for i in range(count)
         ])
 
+    def detach_index(self) -> None:
+        """Drop the list-wide capacity index and its node listeners.
+
+        A sharded scheduler maintains one :class:`FreeCapacityIndex` per
+        node partition; the list-wide index would then be dead weight
+        updated on every allocate/release.  Detaching removes that cost.
+        The index is rebuilt lazily (from live node state, so it is
+        exact) if :meth:`find_fit` / :meth:`root_qualifies` are used
+        again later.  Idempotent.
+        """
+        if self._index is None:
+            return
+        update = self._index.update
+        for node in self.nodes:
+            node._listeners.remove(update)
+        self._index = None
+
+    def _ensure_index(self) -> FreeCapacityIndex:
+        if self._index is None:
+            self._index = FreeCapacityIndex(self.nodes)
+            for node in self.nodes:
+                node._listeners.append(self._index.update)
+        return self._index
+
     def find_fit(self, cores: int, gpus: int = 0, mem_gb: float = 0.0,
                  start: int = 0,
                  avoid: Optional[set] = None) -> Optional[NodeState]:
@@ -320,7 +376,7 @@ class NodeList:
         from the root maxima.  The returned node is always identical to
         what the seed's linear scan would have picked.
         """
-        index = self._index
+        index = self._ensure_index()
         deferred: Optional[NodeState] = None
         n = len(self.nodes)
         for lo, hi in ((start, n), (0, start)):
@@ -336,6 +392,15 @@ class NodeList:
                     continue
                 return node
         return deferred
+
+    def root_qualifies(self, cores: int, gpus: int = 0,
+                       mem_gb: float = 0.0) -> bool:
+        """O(1) check that some up node might fit one rank right now.
+
+        See :meth:`FreeCapacityIndex.root_qualifies` -- necessary, not
+        sufficient, which is exactly what wake filtering needs.
+        """
+        return self._ensure_index().root_qualifies(cores, gpus, mem_gb)
 
     def can_ever_fit(self, cores: int, gpus: int = 0,
                      mem_gb: float = 0.0) -> bool:

@@ -13,13 +13,14 @@ from ...hpc.node import NodeList, Slot
 from ...sim.events import Event, Interrupt
 from .executor import AgentExecutor, ExecutionError
 from .scheduler import AgentScheduler, SchedulerError
+from .sharded import ShardedScheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..session import Session
     from ..task import Task
 
-__all__ = ["Agent", "AgentScheduler", "AgentExecutor", "SchedulerError",
-           "ExecutionError"]
+__all__ = ["Agent", "AgentScheduler", "AgentExecutor", "ShardedScheduler",
+           "SchedulerError", "ExecutionError"]
 
 
 class Agent:

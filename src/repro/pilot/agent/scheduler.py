@@ -30,11 +30,18 @@ scales -- see ``benchmarks/test_ablation_sched_throughput.py``):
 * rescans are **event-driven**: an ``_infeasible`` shape memo records which
   shapes failed placement since capacity last *grew* (release, node repair,
   explicit kick).  Submitting into a memoised shape is an O(log n) enqueue
-  with no placement attempt; a capacity increase clears the memo and runs
-  one pass that attempts each shape at most once past its last grant.  A
-  single kick therefore grants every currently-feasible request without
-  re-walking entries already rejected at the same capacity (the seed
-  restarted a full scan of the queue after every grant);
+  with no placement attempt.  A capacity increase *wake-filters* the memo:
+  only parked shapes that pass the free-capacity index's O(1)
+  root-qualification (some up node could host one rank right now -- a
+  necessary condition for placement) are woken; the rest stay parked
+  without a doomed placement attempt.  Woken shapes enter a **feasible-
+  shape ready heap** keyed on their head entry's ``(-priority, seq)``, so
+  the grant pass picks the globally best pending request in O(log shapes)
+  instead of a linear scan over every shape key (colocate-heavy mixes
+  create one shape per group).  A single kick therefore grants every
+  currently-feasible request without re-walking entries already rejected
+  at the same capacity (the seed restarted a full scan of the queue after
+  every grant);
 * ``withdraw`` is O(1) via a uid->entry index with lazy heap deletion, and
   ``held_on_node`` reads a per-node held-task index instead of scanning
   every held slot;
@@ -112,6 +119,12 @@ class AgentScheduler:
         self._pending_count = 0
         #: shapes that failed placement since capacity last increased
         self._infeasible: Set[ShapeKey] = set()
+        #: feasible-shape heap: (head -priority, head seq, shape) of woken
+        #: shapes, drained by _try_schedule in global head order
+        self._ready: List[tuple] = []
+        self._ready_shapes: Set[ShapeKey] = set()
+        #: static per-rank-shape fit memo (node profiles never change)
+        self._fit_cache: Dict[Tuple[int, int, float], bool] = {}
         self._held: Dict[str, List[Slot]] = {}
         #: node index -> {uid: slot count} (held_on_node without scans)
         self._node_held: Dict[int, Dict[str, int]] = {}
@@ -141,7 +154,7 @@ class AgentScheduler:
 
     def _node_changed(self, node: NodeState, kind: str) -> None:
         if kind == "up":
-            self._capacity_increased()
+            self._capacity_increased([node])
 
     # -- observability -----------------------------------------------------------
     def _obs_poll(self) -> None:
@@ -183,8 +196,13 @@ class AgentScheduler:
     def _feasible(self, task: "Task") -> bool:
         """Could the request ever fit on an *empty* pilot?  O(1)."""
         d = task.description
-        if not self.nodes.can_ever_fit(d.cores_per_rank, d.gpus_per_rank,
-                                       d.mem_per_rank_gb):
+        key = (d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb)
+        fits = self._fit_cache.get(key)
+        if fits is None:
+            # node profiles are static, so the per-shape answer is too
+            fits = self.nodes.can_ever_fit(*key)
+            self._fit_cache[key] = fits
+        if not fits:
             return False
         return (task.n_cores <= self.nodes.total_cores
                 and task.n_gpus <= self.nodes.total_gpus)
@@ -237,11 +255,16 @@ class AgentScheduler:
         slots = self._held.pop(task.uid, None)
         if slots is None:
             raise SchedulerError(f"{task.uid} holds no slots")
+        changed: List[NodeState] = []
+        seen: Set[int] = set()
         for slot in slots:
             self.nodes[slot.node_index].release(slot)
             self._drop_node_held(slot.node_index, task.uid)
+            if slot.node_index not in seen:
+                seen.add(slot.node_index)
+                changed.append(self.nodes[slot.node_index])
         task.slots = []
-        self._capacity_increased()
+        self._capacity_increased(changed)
 
     def withdraw(self, task: "Task") -> bool:
         """Remove a queued (not yet granted) request.  True if found.
@@ -324,10 +347,51 @@ class AgentScheduler:
             if not holders:
                 del self._node_held[node_index]
 
-    def _capacity_increased(self) -> None:
-        """Capacity grew: forget rejections and wake feasible shapes."""
-        self._infeasible.clear()
+    def _capacity_increased(
+            self, changed: Optional[List[NodeState]] = None) -> None:
+        """Capacity grew: wake qualifying parked shapes and re-place.
+
+        A parked shape transitioned to placeable only if a node whose
+        capacity just grew can now host one of its ranks: state elsewhere
+        is unchanged, per-rank consumption is uniform (so greedy multi-
+        rank success is independent of node choice order), and capacity
+        only shrinks between increases.  With the *changed* node list
+        (release, single-node repair) the filter is therefore exact per
+        node: wake a shape iff some changed node fits one rank.  Without
+        it (explicit kick) the filter falls back to the capacity index's
+        O(1) root-qualification -- conservative but still sufficient.
+        Either way, unwoken shapes would have failed their placement
+        attempt, so skipping them is behaviour-preserving (the seed
+        cleared the memo wholesale and paid a doomed ``_place`` per
+        unplaceable shape).
+        """
+        infeasible = self._infeasible
+        if infeasible:
+            if changed is None:
+                nodes = self.nodes
+                woken = [shape for shape in infeasible
+                         if nodes.root_qualifies(shape[0], shape[1],
+                                                 shape[2])]
+            else:
+                woken = [shape for shape in infeasible
+                         if any(node.fits(shape[0], shape[1], shape[2])
+                                for node in changed)]
+            for shape in woken:
+                infeasible.discard(shape)
+                self._push_ready(shape)
         self._try_schedule()
+
+    def _push_ready(self, shape: ShapeKey) -> None:
+        """Offer a shape's live head to the ready heap (dedup'd)."""
+        if shape in self._ready_shapes:
+            return
+        queue = self._shape_queues.get(shape)
+        head = self._peek(queue) if queue else None
+        if head is None:
+            self._shape_queues.pop(shape, None)  # fully drained shape
+            return
+        self._ready_shapes.add(shape)
+        heappush(self._ready, (head[0], head[1], shape))
 
     # -- placement ---------------------------------------------------------------
     def _place(self, task: "Task") -> Optional[List[Slot]]:
@@ -379,43 +443,47 @@ class AgentScheduler:
         return slots
 
     def _try_schedule(self) -> None:
-        """Grant every queued request that currently fits (priority order).
+        """Grant every woken request that currently fits (priority order).
 
-        One pass: repeatedly pick the globally best (priority, arrival)
-        head among shapes not yet rejected at the current capacity, attempt
-        it, and either grant (shape stays live -- its next entry may fit
-        the remaining capacity) or memoise the shape as infeasible.  Each
-        shape is attempted at most once past its final grant, so the pass
-        costs O(grants + live shapes) placement attempts instead of the
-        seed's O(grants * queue length).
+        One pass over the feasible-shape ready heap: woken shapes surface
+        in global head ``(-priority, seq)`` order, so each pick costs
+        O(log shapes) instead of a linear scan over every shape key.  A
+        popped shape is verified against its queue (withdraws make heap
+        keys stale -- the live head is simply re-offered), then attempted:
+        a grant re-offers the shape's next head (it may fit the remaining
+        capacity), a failure parks the shape in the infeasible memo.  The
+        heap always surfaces the minimal live head among non-parked
+        shapes, so the grant order is identical to the seed's full scan,
+        and each shape is attempted at most once past its final grant --
+        O(grants + woken shapes) placement attempts per pass.
         """
         self.stats.passes += 1
+        ready = self._ready
+        ready_shapes = self._ready_shapes
         queues = self._shape_queues
         infeasible = self._infeasible
-        while True:
-            best_head: Optional[list] = None
-            best_shape: Optional[ShapeKey] = None
-            for shape in list(queues):
-                if shape in infeasible:
-                    continue
-                head = self._peek(queues[shape])
-                if head is None:
-                    del queues[shape]  # fully drained shape
-                    continue
-                if best_head is None or (head[0], head[1]) < \
-                        (best_head[0], best_head[1]):
-                    best_head = head
-                    best_shape = shape
-            if best_head is None:
-                return
-            task, event = best_head[2], best_head[3]
+        while ready:
+            key0, key1, shape = heappop(ready)
+            ready_shapes.discard(shape)
+            if shape in infeasible:
+                continue
+            queue = queues.get(shape)
+            head = self._peek(queue) if queue else None
+            if head is None:
+                queues.pop(shape, None)  # fully drained shape
+                continue
+            if head[0] != key0 or head[1] != key1:
+                self._push_ready(shape)  # stale key: re-offer live head
+                continue
+            task, event = head[2], head[3]
             slots = self._place(task)
             if slots is None:
-                infeasible.add(best_shape)
+                infeasible.add(shape)
                 continue
-            heappop(queues[best_shape])
+            heappop(queue)
             del self._entries[task.uid]
             self._pending_count -= 1
             if self._obs_metrics is not None:
-                self._obs_track_dequeue(best_shape)
+                self._obs_track_dequeue(shape)
             self._grant(task, event, slots)
+            self._push_ready(shape)

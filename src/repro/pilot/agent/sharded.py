@@ -1,0 +1,540 @@
+"""Sharded agent scheduler: node-partitioned structure, global semantics.
+
+At O(10^6) pending tasks the single :class:`~.scheduler.AgentScheduler`
+keeps every pending heap, capacity-index update and wake filter in one
+flat structure.  :class:`ShardedScheduler` partitions the pilot's nodes
+into contiguous **shards**, each owning
+
+* its own :class:`~repro.hpc.node.FreeCapacityIndex` over its node range
+  (a shallower tree, so point updates from allocate/release touch fewer
+  cells), and
+* the shape-keyed pending heaps of the shapes *homed* to it (bounded
+  per-shard queue state).
+
+A thin **merge layer** on top preserves the exact semantics of the
+un-sharded scheduler:
+
+* **routing** -- a shape is homed to a shard that could statically fit it
+  (shape feasibility against the shard's node profiles), least-loaded
+  first, and all entries of a shape stay together (colocate groups are
+  shapes, so group members always share a home);
+* **global grant order** -- a ready heap merges the per-shard shape heads
+  in ``(-priority, seq)`` order, so grants happen in exactly the order
+  the un-sharded scheduler would pick;
+* **global placement** -- ``_find_fit`` walks the shards in node order
+  (with the same wrap-around start and soft-``avoid`` deferral), querying
+  each shard's capacity index over the overlap, which reproduces the
+  global first-fit *slot assignment* bit-for-bit;
+* **stealing** -- when a shard drains while others hold backlog, whole
+  shape queues are re-homed to the idle shard (semantics-neutral: homing
+  only decides which shard's structures hold the entries).
+
+Because grant order and slot choice are both preserved, a single-shard
+``ShardedScheduler`` is behaviourally identical to ``AgentScheduler``
+(and therefore to the seed :mod:`~repro.pilot.agent.reference`), and a
+multi-shard one produces the identical grant *set* and slot assignments
+-- property-tested in ``tests/pilot/test_sharded.py`` and
+``tests/test_properties.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ...hpc.node import FreeCapacityIndex, NodeList, NodeState, Slot
+from ...sim.events import Event
+from ...utils.log import get_logger
+from .scheduler import SchedulerError, ShapeKey, _ALIVE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..session import Session
+    from ..task import Task
+
+__all__ = ["ShardedScheduler", "ShardedSchedulerStats"]
+
+log = get_logger("pilot.agent.sharded")
+
+
+class ShardedSchedulerStats:
+    """Hot-path counters, including merge-layer stealing."""
+
+    __slots__ = ("place_attempts", "grants", "passes", "memo_hits",
+                 "steals")
+
+    def __init__(self) -> None:
+        self.place_attempts = 0
+        self.grants = 0
+        self.passes = 0
+        self.memo_hits = 0
+        self.steals = 0  # shape queues re-homed on drain imbalance
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"<ShardedSchedulerStats {self.as_dict()}>"
+
+
+class _Shard:
+    """One contiguous node range with its own index and pending heaps."""
+
+    __slots__ = ("sid", "lo", "hi", "nodes", "index", "shape_queues",
+                 "infeasible", "pending_count", "profiles")
+
+    def __init__(self, sid: int, lo: int, hi: int,
+                 nodes: List[NodeState]) -> None:
+        self.sid = sid
+        self.lo = lo
+        self.hi = hi
+        self.nodes = nodes
+        self.index = FreeCapacityIndex(nodes, offset=lo)
+        #: shape -> pending heap of [-priority, seq, task, event, alive]
+        self.shape_queues: Dict[ShapeKey, List[list]] = {}
+        #: homed shapes that failed placement since capacity last grew
+        self.infeasible: Set[ShapeKey] = set()
+        self.pending_count = 0
+        #: distinct static node profiles, for feasibility routing
+        self.profiles = sorted({(n.num_cores, n.num_gpus, n.mem_gb)
+                                for n in nodes}, reverse=True)
+
+    def could_fit(self, cores: int, gpus: int, mem_gb: float) -> bool:
+        """Static check: could an empty node of this shard host one rank?"""
+        return any(pc >= cores and pg >= gpus and pm >= mem_gb - 1e-9
+                   for pc, pg, pm in self.profiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<_Shard {self.sid} [{self.lo},{self.hi}) "
+                f"pending={self.pending_count}>")
+
+
+class ShardedScheduler:
+    """Node-partitioned slot allocator with un-sharded semantics.
+
+    Drop-in for :class:`~.scheduler.AgentScheduler` (same public API and
+    the same grant order / slot assignments); see the module docstring
+    for the structure.  ``shards=1`` degenerates to the flat scheduler.
+    """
+
+    #: do not steal unless the richest shard holds at least this many
+    #: pending entries (re-homing has bookkeeping cost)
+    STEAL_MIN_PENDING = 2
+
+    def __init__(self, session: "Session", nodes: NodeList, pilot_uid: str,
+                 shards: int = 4) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.session = session
+        self.nodes = nodes
+        self.pilot_uid = pilot_uid
+        n = len(nodes)
+        shards = min(shards, max(n, 1))
+        self._shard_span = (n + shards - 1) // shards if n else 1
+        self._shards: List[_Shard] = []
+        for sid in range(shards):
+            lo = sid * self._shard_span
+            hi = min(n, lo + self._shard_span)
+            if lo >= hi:
+                break
+            self._shards.append(
+                _Shard(sid, lo, hi, [nodes[i] for i in range(lo, hi)]))
+        self._seq = itertools.count()
+        #: uid -> live pending entry (O(1) withdraw / duplicate check)
+        self._entries: Dict[str, list] = {}
+        self._pending_count = 0
+        #: shape -> home shard id (all entries of a shape live together)
+        self._home: Dict[ShapeKey, int] = {}
+        #: merge layer: (head -priority, head seq, shape) ready heap
+        self._ready: List[tuple] = []
+        self._ready_shapes: Set[ShapeKey] = set()
+        self._fit_cache: Dict[Tuple[int, int, float], bool] = {}
+        self._held: Dict[str, List[Slot]] = {}
+        self._node_held: Dict[int, Dict[str, int]] = {}
+        self._colocate_node: Dict[str, int] = {}
+        self._affinity_node: Dict[str, int] = {}
+        self._rr_index = 0
+        self.stats = ShardedSchedulerStats()
+        # the per-shard indexes supersede the NodeList's list-wide one:
+        # detach it so each allocate/release pays one segment-tree update,
+        # not two (it rebuilds lazily if find_fit is used again)
+        nodes.detach_index()
+        for shard in self._shards:
+            for node in shard.nodes:
+                node._listeners.append(shard.index.update)
+        for node in nodes:
+            node._listeners.append(self._node_changed)
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def queue_length(self) -> int:
+        return self._pending_count
+
+    @property
+    def held_tasks(self) -> List[str]:
+        return list(self._held)
+
+    def shard_pending(self) -> List[int]:
+        """Per-shard pending entry counts (merge-layer balance view)."""
+        return [shard.pending_count for shard in self._shards]
+
+    def held_on_node(self, node_index: int) -> List[str]:
+        return list(self._node_held.get(node_index, ()))
+
+    def _node_changed(self, node: NodeState, kind: str) -> None:
+        if kind == "up":
+            self._capacity_increased([node])
+
+    # -- validation / routing ----------------------------------------------------
+    @staticmethod
+    def _shape_of(task: "Task") -> ShapeKey:
+        d = task.description
+        group = d.tags.get("colocate") if d.tags else None
+        return (d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                d.ranks, group)
+
+    def _route(self, shape: ShapeKey) -> int:
+        """Pick a home shard: statically feasible, least pending."""
+        best: Optional[_Shard] = None
+        for shard in self._shards:
+            if not shard.could_fit(shape[0], shape[1], shape[2]):
+                continue
+            if best is None or shard.pending_count < best.pending_count:
+                best = shard
+        if best is None:
+            # schedule()'s feasibility gate passed, so some shard can fit
+            # the shape; unreachable unless profiles diverge -- be safe.
+            best = self._shards[0]  # pragma: no cover - defensive
+        return best.sid
+
+    # -- public API ------------------------------------------------------------
+    def schedule(self, task: "Task") -> Event:
+        """Request slots for *task*; event succeeds with ``List[Slot]``.
+
+        The hot path reads the description exactly once into the shape
+        key and threads it through feasibility, routing and placement --
+        at O(10^6) submissions repeated ``Config`` attribute lookups are
+        a measurable tax.
+        """
+        event = self.session.engine.event()
+        uid = task.uid
+        if uid in self._held:
+            event.fail(SchedulerError(f"{uid} already holds slots"))
+            return event
+        if uid in self._entries:
+            event.fail(SchedulerError(f"{uid} is already queued"))
+            return event
+        d = task.description
+        tags = d.tags
+        shape = (d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                 d.ranks, tags.get("colocate") if tags else None)
+        key = shape[:3]
+        fits = self._fit_cache.get(key)
+        if fits is None:
+            fits = self.nodes.can_ever_fit(*key)
+            self._fit_cache[key] = fits
+        ranks = shape[3]
+        if not (fits and ranks * shape[0] <= self.nodes.total_cores
+                and ranks * shape[1] <= self.nodes.total_gpus):
+            event.fail(SchedulerError(
+                f"{uid} can never fit on pilot {self.pilot_uid}: "
+                f"needs {ranks * shape[0]}c/{ranks * shape[1]}g"))
+            return event
+        home = self._home.get(shape)
+        if home is not None and shape in self._shards[home].infeasible:
+            self.stats.memo_hits += 1
+            self._enqueue(shape, task, event)
+            return event
+        slots = self._place(task, shape)
+        if slots is None:
+            sid = self._enqueue(shape, task, event)
+            self._shards[sid].infeasible.add(shape)
+            return event
+        self._grant(task, event, slots)
+        return event
+
+    def release(self, task: "Task") -> None:
+        """Return a task's slots and re-run placement for waiters."""
+        slots = self._held.pop(task.uid, None)
+        if slots is None:
+            raise SchedulerError(f"{task.uid} holds no slots")
+        changed: List[NodeState] = []
+        seen: Set[int] = set()
+        for slot in slots:
+            self.nodes[slot.node_index].release(slot)
+            self._drop_node_held(slot.node_index, task.uid)
+            if slot.node_index not in seen:
+                seen.add(slot.node_index)
+                changed.append(self.nodes[slot.node_index])
+        task.slots = []
+        self._capacity_increased(changed)
+
+    def withdraw(self, task: "Task") -> bool:
+        """Remove a queued (not yet granted) request.  True if found."""
+        entry = self._entries.pop(task.uid, None)
+        if entry is None:
+            return False
+        entry[_ALIVE] = False
+        self._pending_count -= 1
+        home = self._home.get(self._shape_of(task))
+        if home is not None:
+            self._shards[home].pending_count -= 1
+        return True
+
+    def kick(self) -> None:
+        """Re-run placement (e.g. after a crashed node was repaired)."""
+        self._capacity_increased()
+
+    # -- queue plumbing ----------------------------------------------------------
+    def _enqueue(self, shape: ShapeKey, task: "Task", event: Event) -> int:
+        home = self._home.get(shape)
+        if home is None:
+            home = self._route(shape)
+            self._home[shape] = home
+        shard = self._shards[home]
+        entry = [-task.description.priority, next(self._seq), task, event,
+                 True]
+        heappush(shard.shape_queues.setdefault(shape, []), entry)
+        self._entries[task.uid] = entry
+        self._pending_count += 1
+        shard.pending_count += 1
+        return home
+
+    @staticmethod
+    def _peek(queue: List[list]) -> Optional[list]:
+        while queue:
+            head = queue[0]
+            if head[_ALIVE]:
+                return head
+            heappop(queue)
+        return None
+
+    def _push_ready(self, shape: ShapeKey) -> None:
+        if shape in self._ready_shapes:
+            return
+        shard = self._shards[self._home[shape]]
+        queue = shard.shape_queues.get(shape)
+        head = self._peek(queue) if queue else None
+        if head is None:
+            shard.shape_queues.pop(shape, None)
+            return
+        self._ready_shapes.add(shape)
+        heappush(self._ready, (head[0], head[1], shape))
+
+    def _grant(self, task: "Task", event: Event,
+               slots: List[Slot]) -> None:
+        self._held[task.uid] = slots
+        for slot in slots:
+            holders = self._node_held.setdefault(slot.node_index, {})
+            holders[task.uid] = holders.get(task.uid, 0) + 1
+        task.slots = slots
+        self.stats.grants += 1
+        now = self.session.engine.now
+        self.session.profiler.record(now, task.uid, "schedule_ok",
+                                     self.pilot_uid)
+        event.succeed(slots)
+
+    def _drop_node_held(self, node_index: int, uid: str) -> None:
+        holders = self._node_held.get(node_index)
+        if holders is None:
+            return
+        count = holders.get(uid, 0) - 1
+        if count > 0:
+            holders[uid] = count
+        else:
+            holders.pop(uid, None)
+            if not holders:
+                del self._node_held[node_index]
+
+    # -- merge layer -------------------------------------------------------------
+    def _capacity_increased(
+            self, changed: Optional[List[NodeState]] = None) -> None:
+        """Wake qualifying parked shapes across all shards, then place.
+
+        The wake filter matches the un-sharded scheduler's exactly (see
+        ``AgentScheduler._capacity_increased`` for the argument): with a
+        *changed* node list, wake a parked shape iff some changed node
+        now fits one rank; for a blind kick, fall back to the per-shard
+        index roots (their max over shards equals the global root).
+        """
+        for shard in self._shards:
+            infeasible = shard.infeasible
+            if not infeasible:
+                continue
+            if changed is None:
+                shards = self._shards
+                woken = [shape for shape in infeasible
+                         if any(s.index.root_qualifies(shape[0], shape[1],
+                                                       shape[2])
+                                for s in shards)]
+            else:
+                woken = [shape for shape in infeasible
+                         if any(node.fits(shape[0], shape[1], shape[2])
+                                for node in changed)]
+            for shape in woken:
+                infeasible.discard(shape)
+                self._push_ready(shape)
+        self._try_schedule()
+        self._steal_if_imbalanced()
+
+    def _try_schedule(self) -> None:
+        """Drain the merge-layer ready heap in global head order."""
+        self.stats.passes += 1
+        ready = self._ready
+        ready_shapes = self._ready_shapes
+        shards = self._shards
+        home = self._home
+        while ready:
+            key0, key1, shape = heappop(ready)
+            ready_shapes.discard(shape)
+            shard = shards[home[shape]]
+            if shape in shard.infeasible:
+                continue
+            queue = shard.shape_queues.get(shape)
+            head = self._peek(queue) if queue else None
+            if head is None:
+                shard.shape_queues.pop(shape, None)
+                continue
+            if head[0] != key0 or head[1] != key1:
+                self._push_ready(shape)  # stale key: re-offer live head
+                continue
+            task, event = head[2], head[3]
+            slots = self._place(task, shape)
+            if slots is None:
+                shard.infeasible.add(shape)
+                continue
+            heappop(queue)
+            del self._entries[task.uid]
+            self._pending_count -= 1
+            shard.pending_count -= 1
+            self._grant(task, event, slots)
+            self._push_ready(shape)
+
+    def _steal_if_imbalanced(self) -> None:
+        """Re-home backlog from the richest shard to drained shards.
+
+        Purely structural: homing decides which shard's heaps hold the
+        entries, never placement, so stealing cannot change semantics --
+        it keeps per-shard pending state (and the wake work attached to
+        it) balanced when one partition's traffic drains first.
+        """
+        if len(self._shards) < 2:
+            return
+        poorest = min(self._shards, key=lambda s: s.pending_count)
+        if poorest.pending_count:
+            return
+        richest = max(self._shards, key=lambda s: s.pending_count)
+        if richest.pending_count < self.STEAL_MIN_PENDING \
+                or len(richest.shape_queues) < 2:
+            return
+        # move whole shape queues until the balance roughly halves;
+        # whole-shape moves keep "all entries of a shape share a home"
+        target = richest.pending_count // 2
+        moved = 0
+        for shape in list(richest.shape_queues):
+            if moved >= target or len(richest.shape_queues) < 2:
+                break
+            queue = richest.shape_queues.pop(shape)
+            live = sum(1 for entry in queue if entry[_ALIVE])
+            poorest.shape_queues[shape] = queue
+            if shape in richest.infeasible:
+                richest.infeasible.discard(shape)
+                poorest.infeasible.add(shape)
+            self._home[shape] = poorest.sid
+            richest.pending_count -= live
+            poorest.pending_count += live
+            moved += live
+            self.stats.steals += 1
+
+    # -- placement ---------------------------------------------------------------
+    def _find_fit(self, cores: int, gpus: int, mem_gb: float,
+                  start: int, avoid: Optional[set]) -> Optional[NodeState]:
+        """Global first-fit across shard indexes, wrap-around at *start*.
+
+        Walks shards in node order and queries each shard's capacity
+        index over the overlap with the scan range, reproducing
+        ``NodeList.find_fit``'s result (including the soft-``avoid``
+        deferral) exactly.
+        """
+        nodes = self.nodes
+        shards = self._shards
+        span = self._shard_span
+        deferred: Optional[NodeState] = None
+        n = len(nodes)
+        for lo, hi in ((start, n), (0, start)):
+            pos = lo
+            while pos < hi:
+                shard = shards[pos // span]
+                s_hi = hi if hi < shard.hi else shard.hi
+                local = shard.index.first_fit(
+                    cores, gpus, mem_gb, pos - shard.lo, s_hi - shard.lo)
+                if local < 0:
+                    pos = s_hi
+                    continue
+                i = local + shard.lo
+                node = nodes[i]
+                if avoid and node.name in avoid:
+                    if deferred is None:
+                        deferred = node
+                    pos = i + 1
+                    continue
+                return node
+        return deferred
+
+    def _place(self, task: "Task",
+               shape: Optional[ShapeKey] = None) -> Optional[List[Slot]]:
+        """Try to place all ranks; returns slots or None (state rolled back).
+
+        Identical algorithm to ``AgentScheduler._place`` -- colocation is
+        a hard pin, affinity a soft preference, ``avoid`` a soft
+        blacklist -- with node search going through the shard indexes.
+        Callers that already built the shape key pass it in; the
+        description is then not re-read at all.
+        """
+        self.stats.place_attempts += 1
+        d = task.description
+        if shape is None:
+            tags = d.tags
+            shape = (d.cores_per_rank, d.gpus_per_rank, d.mem_per_rank_gb,
+                     d.ranks, tags.get("colocate") if tags else None)
+        cores, gpus, mem, ranks, group = shape
+        slots: List[Slot] = []
+        affinity = d.tags.get("affinity") if d.tags else None
+        if affinity is None:
+            affinity = getattr(task, "affinity_key", None)
+        pinned: Optional[int] = self._colocate_node.get(group) \
+            if group else None
+        preferred: Optional[int] = self._affinity_node.get(affinity) \
+            if affinity is not None else None
+        avoid = getattr(task, "avoid_nodes", None)
+        for _rank in range(ranks):
+            node: Optional[NodeState]
+            if pinned is not None:
+                node = self.nodes[pinned]
+                if not node.fits(cores, gpus, mem):
+                    node = None
+            else:
+                node = None
+                if preferred is not None:
+                    candidate = self.nodes[preferred]
+                    if candidate.fits(cores, gpus, mem) \
+                            and not (avoid and candidate.name in avoid):
+                        node = candidate
+                if node is None:
+                    node = self._find_fit(cores, gpus, mem,
+                                          self._rr_index, avoid)
+            if node is None:
+                for slot in slots:  # rollback partial placement
+                    self.nodes[slot.node_index].release(slot)
+                return None
+            slots.append(node.allocate(cores, gpus, mem))
+        if group and group not in self._colocate_node:
+            self._colocate_node[group] = slots[0].node_index
+        if affinity is not None:
+            self._affinity_node[affinity] = slots[0].node_index
+        self._rr_index = (slots[-1].node_index + 1) % len(self.nodes)
+        return slots

@@ -25,12 +25,20 @@ unbounded row list dominates peak memory.  The profiler is therefore
 
 ``Session(profile="durations")`` selects the tier for a whole run.
 
-The full tier's ``max_rows`` bound supports two *retention* modes:
+The full tier's ``max_rows`` bound supports three *retention* modes:
 ``"bound"`` (the default) keeps the **oldest** rows and drops newest once
 the cap is hit -- right for post-mortem analysis of a run's beginning --
 while ``"ring"`` keeps the **most recent** rows in a ring buffer, which is
 what live monitoring wants (the current window of activity, not the first
-N events of a days-old campaign).
+N events of a days-old campaign).  ``"spill"`` keeps full-tier fidelity
+*without* the memory: rows stream to a JSONL ``spill_path`` in bounded
+chunks (``max_rows`` per chunk), so a million-task campaign retains at
+most one chunk of rows in memory while every row survives on disk.  The
+spill file is finalised by :meth:`close_spill` (first timestamps plus a
+trailing meta line) into the exact :meth:`to_jsonl` format, so
+:meth:`from_jsonl`, :func:`repro.observability.spans_from_profiler` and
+:meth:`repro.observability.CampaignAttribution.from_profiler` work
+transparently from spilled files.
 """
 
 from __future__ import annotations
@@ -61,21 +69,33 @@ class Profiler:
     """Tiered event store with duration extraction."""
 
     LEVELS = ("full", "durations", "off")
-    RETENTIONS = ("bound", "ring")
+    RETENTIONS = ("bound", "ring", "spill")
+
+    #: buffered rows per spill flush when max_rows does not say otherwise
+    SPILL_CHUNK = 8192
 
     def __init__(self, level: str = "full",
                  max_rows: Optional[int] = None,
-                 retention: str = "bound") -> None:
+                 retention: str = "bound",
+                 spill_path: Optional[str] = None) -> None:
         if level not in self.LEVELS:
             raise ValueError(f"level must be one of {self.LEVELS}")
         if max_rows is not None and max_rows < 0:
             raise ValueError("max_rows must be non-negative")
         if retention not in self.RETENTIONS:
             raise ValueError(f"retention must be one of {self.RETENTIONS}")
+        if retention == "spill" and spill_path is None:
+            raise ValueError("retention='spill' requires spill_path")
         self.level = level
         self.max_rows = max_rows
         self.retention = retention
+        self.spill_path = spill_path
         self._ring = retention == "ring" and max_rows is not None
+        self._spill = retention == "spill" and level == "full"
+        #: rows written to the spill file so far
+        self.spilled = 0
+        self._spill_chunk = max_rows or self.SPILL_CHUNK
+        self._spill_fh = None
         self._rows: List[ProfileRow] = (
             deque(maxlen=max_rows) if self._ring else [])
         #: per-uid row index, maintained in *both* retention modes: ring
@@ -91,6 +111,20 @@ class Profiler:
         self.recorded = 0
         #: rows not retained (off tier, or full tier past max_rows)
         self.dropped = 0
+        if self._spill:
+            # provisional header: overridden by close_spill's trailing meta
+            self._spill_fh = open(spill_path, "w")
+            self._spill_fh.write(json.dumps({"meta": self._meta()}) + "\n")
+
+    def _meta(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "max_rows": self.max_rows,
+            "retention": self.retention,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "spilled": self.spilled,
+        }
 
     def record(self, time: float, uid: str, event: str,
                component: str = "") -> None:
@@ -106,6 +140,18 @@ class Profiler:
         if self.level == "durations":
             return
         row = ProfileRow(float(time), uid, event, component)
+        if self._spill:
+            self._rows.append(row)
+            bucket = self._by_uid.get(uid)
+            if bucket is None:
+                bucket = self._by_uid[uid] = deque()
+            bucket.append(row)
+            # flush a full chunk to disk; recording after close_spill()
+            # keeps buffering in memory (safe teardown ordering)
+            if (len(self._rows) >= self._spill_chunk
+                    and self._spill_fh is not None):
+                self._flush_spill()
+            return
         if self._ring:
             if len(self._rows) == self.max_rows:
                 # the ring evicts its oldest row: prune it from the index
@@ -182,6 +228,41 @@ class Profiler:
         self.recorded = 0
         self.dropped = 0
 
+    # -- spill ---------------------------------------------------------------
+    def _flush_spill(self) -> None:
+        """Stream the buffered chunk to the spill file and drop it."""
+        fh = self._spill_fh
+        write = fh.write
+        for row in self._rows:
+            write(json.dumps(["r", row.time, row.uid, row.event,
+                              row.component]) + "\n")
+        self.spilled += len(self._rows)
+        self._rows.clear()
+        self._by_uid.clear()
+
+    def close_spill(self) -> Optional[str]:
+        """Finalise the spill file; returns its path (None if not spilling).
+
+        Flushes the buffered tail, appends the ``"f"`` first-timestamp
+        lines and a trailing meta line (which overrides the provisional
+        header on reload), and closes the file.  Idempotent: a second
+        call -- or a call on a non-spill profiler -- is a no-op returning
+        the path (or None).  Rows recorded *after* close buffer in memory
+        like plain ``"bound"`` retention, so teardown-ordering races
+        cannot write to a closed file.
+        """
+        if not self._spill:
+            return None
+        if self._spill_fh is not None:
+            self._flush_spill()
+            fh = self._spill_fh
+            for (uid, event), t in self._first.items():
+                fh.write(json.dumps(["f", t, uid, event]) + "\n")
+            fh.write(json.dumps({"meta": self._meta()}) + "\n")
+            fh.close()
+            self._spill_fh = None
+        return self.spill_path
+
     # -- persistence ---------------------------------------------------------
     def to_jsonl(self, path: str) -> int:
         """Persist the profile as JSONL; returns the line count.
@@ -195,15 +276,13 @@ class Profiler:
         the offline trace exporter
         (:func:`repro.observability.spans_from_profiler`).
         """
+        if self._spill:
+            raise ValueError(
+                "spill-retention profilers already stream to spill_path; "
+                "finalise with close_spill() instead of to_jsonl()")
         lines = 1
         with open(path, "w") as fh:
-            fh.write(json.dumps({"meta": {
-                "level": self.level,
-                "max_rows": self.max_rows,
-                "retention": self.retention,
-                "recorded": self.recorded,
-                "dropped": self.dropped,
-            }}) + "\n")
+            fh.write(json.dumps({"meta": self._meta()}) + "\n")
             for (uid, event), t in self._first.items():
                 fh.write(json.dumps(["f", t, uid, event]) + "\n")
                 lines += 1
@@ -215,21 +294,33 @@ class Profiler:
 
     @classmethod
     def from_jsonl(cls, path: str) -> "Profiler":
-        """Reload a profile written by :meth:`to_jsonl`.
+        """Reload a profile written by :meth:`to_jsonl` or a spill file.
 
         First timestamps are restored verbatim (including ones whose rows
         were dropped), rows are replayed into the original tier/retention
         configuration, and the recorded/dropped counters come back from
-        the header rather than the replay.
+        the meta line rather than the replay.  Meta lines may appear
+        anywhere (spill files carry a provisional header *and* a trailing
+        final meta; the last one seen wins); a spill-retention profile
+        reloads as an unbounded in-memory ``"bound"`` profiler so every
+        spilled row is queryable via :meth:`events`.
         """
+        profiler: Optional[Profiler] = None
+        meta: Dict[str, object] = {}
         with open(path) as fh:
-            header = json.loads(fh.readline())
-            meta = header["meta"]
-            profiler = cls(level=meta["level"], max_rows=meta["max_rows"],
-                           retention=meta["retention"])
             for line in fh:
                 entry = json.loads(line)
-                if entry[0] == "f":
+                if isinstance(entry, dict):
+                    meta = entry["meta"]
+                    if profiler is None:
+                        if meta["retention"] == "spill":
+                            profiler = cls(level=meta["level"], max_rows=None,
+                                           retention="bound")
+                        else:
+                            profiler = cls(level=meta["level"],
+                                           max_rows=meta["max_rows"],
+                                           retention=meta["retention"])
+                elif entry[0] == "f":
                     _, t, uid, event = entry
                     key = (uid, event)
                     if key not in profiler._first:
@@ -238,6 +329,8 @@ class Profiler:
                 else:
                     _, t, uid, event, component = entry
                     profiler.record(t, uid, event, component)
+        if profiler is None:
+            raise ValueError(f"no meta line in profile file: {path}")
         profiler.recorded = meta["recorded"]
         profiler.dropped = meta["dropped"]
         return profiler

@@ -54,7 +54,8 @@ class Session:
                  observability: Optional["ObservabilityConfig"] = None,
                  profile: str = "full",
                  profile_max_rows: Optional[int] = None,
-                 profile_retention: str = "bound") -> None:
+                 profile_retention: str = "bound",
+                 profile_spill: Optional[str] = None) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}")
         self.mode = mode
@@ -69,9 +70,14 @@ class Session:
         #: profiling tier: "full" keeps every row, "durations" keeps first
         #: timestamps only (bounded memory), "off" disables recording;
         #: retention="ring" with max_rows keeps the *newest* rows (live
-        #: monitoring) instead of the oldest
+        #: monitoring) instead of the oldest.  ``profile_spill=`` names a
+        #: JSONL path and switches retention to "spill": rows stream to
+        #: disk in bounded chunks, finalised by close()
+        if profile_spill is not None:
+            profile_retention = "spill"
         self.profiler = Profiler(level=profile, max_rows=profile_max_rows,
-                                 retention=profile_retention)
+                                 retention=profile_retention,
+                                 spill_path=profile_spill)
         self._batch: Dict[str, BatchSystem] = {}
         self._closed = False
         self._quiescing = False
@@ -261,6 +267,7 @@ class Session:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.profiler.close_spill()
         log.info("session %s closed at t=%.3f", self.uid, self.engine.now)
 
     def __enter__(self) -> "Session":

@@ -10,6 +10,24 @@ milliseconds of wall time.
 against the wall clock (scaled by *factor*) and accepts thread-safe event
 injection, which lets executors run *real* Python workloads in worker threads
 and feed completions back into the simulation loop.
+
+Two structural optimisations keep the kernel flat at million-task scale
+(profiled via ``benchmarks/profile_hotpath.py``):
+
+* **now-queue** -- zero-delay NORMAL-priority events (the bulk of
+  control-plane traffic: grant cascades, completion chains, zero-latency
+  bus hops) go into a FIFO deque instead of the binary heap.  Entries carry
+  the same ``(time, priority, eid, event)`` tuples as heap entries; because
+  event ids are monotonic and the clock never moves backwards, the deque is
+  sorted by construction, and a single tuple comparison against the heap
+  head merges both streams in exact global order.  Same-timestamp bursts
+  therefore dispatch in O(1) per event instead of O(log n).
+
+* **deferred fast path** -- :meth:`SimulationEngine.call_later` schedules a
+  pooled :class:`~repro.sim.events.Deferred` (a bare fn/arg pair) instead
+  of an :class:`Event` with a callback list; the dispatch loop recognises
+  it and calls the function directly.  No allocation after warm-up, no
+  callback-list churn, no :class:`Process` machinery for leaf waits.
 """
 
 from __future__ import annotations
@@ -18,7 +36,8 @@ import heapq
 import itertools
 import threading
 import time as _time
-from typing import Any, Callable, Generator, List, Optional, Union
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Union
 
 from .events import (
     PENDING,
@@ -27,6 +46,7 @@ from .events import (
     AllOf,
     AnyOf,
     Condition,
+    Deferred,
     Event,
     Process,
     Timeout,
@@ -45,8 +65,12 @@ class SimulationEngine:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[tuple] = []
+        #: zero-delay NORMAL-priority entries, sorted by construction
+        self._nowq: Deque[tuple] = deque()
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        #: free list of fired Deferred instances (see call_later)
+        self._pool: List[Deferred] = []
 
     # -- introspection --------------------------------------------------------
     @property
@@ -60,28 +84,68 @@ class SimulationEngine:
         return self._active_process
 
     def _prune_cancelled(self) -> None:
-        """Drop cancelled events from the head of the queue."""
+        """Drop cancelled events from the heads of both queues."""
         heap = self._heap
         while heap and heap[0][3]._cancelled:
             heapq.heappop(heap)
+        nowq = self._nowq
+        while nowq and nowq[0][3]._cancelled:
+            nowq.popleft()
 
     def peek(self) -> float:
         """Timestamp of the next scheduled event, or +inf when idle."""
         self._prune_cancelled()
-        return self._heap[0][0] if self._heap else float("inf")
+        heap, nowq = self._heap, self._nowq
+        if heap:
+            if nowq and nowq[0] < heap[0]:
+                return nowq[0][0]
+            return heap[0][0]
+        return nowq[0][0] if nowq else float("inf")
 
     def is_idle(self) -> bool:
         self._prune_cancelled()
-        return not self._heap
+        return not self._heap and not self._nowq
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0,
                  priority: int = NORMAL) -> None:
         """Enqueue *event* for processing at ``now + delay``."""
+        if delay == 0.0 and priority == NORMAL:
+            # Fast path: immediate events keep global (time, priority, eid)
+            # order in a plain FIFO -- see the now-queue note in the module
+            # docstring.
+            self._nowq.append((self._now, NORMAL, next(self._eid), event))
+            return
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         heapq.heappush(self._heap, (self._now + delay, priority,
                                     next(self._eid), event))
+
+    def call_later(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None, priority: int = NORMAL) -> Deferred:
+        """Schedule ``fn(arg)`` after *delay* via the pooled fast path.
+
+        Internal fast path for leaf waits (bus deliveries, link timers)
+        that need no observable :class:`Event`.  Returns a handle whose
+        ``cancel()`` withdraws the call -- valid only *before* the fire
+        time: fired handles are recycled into the pool and may already
+        back an unrelated call.
+        """
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = Deferred()
+        ev.fn = fn
+        ev.arg = arg
+        if delay == 0.0 and priority == NORMAL:
+            self._nowq.append((self._now, NORMAL, next(self._eid), ev))
+        elif delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        else:
+            heapq.heappush(self._heap, (self._now + delay, priority,
+                                        next(self._eid), ev))
+        return ev
 
     # -- event factories ------------------------------------------------------
     def event(self) -> Event:
@@ -110,13 +174,31 @@ class SimulationEngine:
         value of failed events nobody defused (unhandled process crashes).
         """
         heap = self._heap
-        heappop = heapq.heappop
-        # inline cancelled-event pruning: one pass, no helper-call churn on
-        # the per-event hot path
-        while heap and heap[0][3]._cancelled:
-            heappop(heap)
-        timestamp, _prio, _eid, event = heappop(heap)
-        self._now = timestamp
+        nowq = self._nowq
+        # merged pop across heap and now-queue, skipping cancelled events in
+        # the same pass (single prune, no helper-call churn)
+        while True:
+            if nowq:
+                if heap and heap[0] < nowq[0]:
+                    entry = heapq.heappop(heap)
+                else:
+                    entry = nowq.popleft()
+            elif heap:
+                entry = heapq.heappop(heap)
+            else:
+                raise IndexError("step from an empty event queue")
+            event = entry[3]
+            if not event._cancelled:
+                break
+        self._now = entry[0]
+
+        if type(event) is Deferred:
+            fn = event.fn
+            arg = event.arg
+            event.fn = event.arg = None
+            self._pool.append(event)
+            fn(arg)
+            return
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -134,37 +216,82 @@ class SimulationEngine:
         * ``until=<Event>``-- run until the event triggers; returns its value
           (re-raising for failed events).
         """
+        heap = self._heap
+        nowq = self._nowq
+        pool = self._pool
+        heappop = heapq.heappop
+
         if isinstance(until, Event):
             stop_event = until
             # Wait for *processing*, not just triggering: Timeout events carry
             # their value from creation, so .triggered alone is not "occurred".
-            heap = self._heap
-            step = self.step
+            # Cancelled events are skipped inside the same pop loop -- a
+            # single prune pass, like the ``until=None`` path.
             while not stop_event.processed:
-                while heap and heap[0][3]._cancelled:
-                    heapq.heappop(heap)
-                if not heap:
+                if nowq:
+                    if heap and heap[0] < nowq[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = nowq.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
                     raise RuntimeError(
                         "simulation ran out of events before the 'until' "
                         "event triggered (deadlock?)")
-                step()
+                event = entry[3]
+                if event._cancelled:
+                    continue
+                self._now = entry[0]
+                if type(event) is Deferred:
+                    fn = event.fn
+                    arg = event.arg
+                    event.fn = event.arg = None
+                    pool.append(event)
+                    fn(arg)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
             if stop_event._ok is False:
                 stop_event._defused = True
                 raise stop_event._value
             return stop_event._value
 
         if until is None:
-            # Drive straight off the heap: the is_idle()/step() pair would
+            # Drive both queues directly: the is_idle()/step() pair would
             # prune the cancelled-event prefix twice per iteration, which
             # adds up over the millions of events of a large campaign.
-            heap = self._heap
-            step = self.step
-            while heap:
-                if heap[0][3]._cancelled:
-                    heapq.heappop(heap)
+            while True:
+                if nowq:
+                    if heap and heap[0] < nowq[0]:
+                        entry = heappop(heap)
+                    else:
+                        entry = nowq.popleft()
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    return None
+                event = entry[3]
+                if event._cancelled:
                     continue
-                step()
-            return None
+                self._now = entry[0]
+                if type(event) is Deferred:
+                    fn = event.fn
+                    arg = event.arg
+                    event.fn = event.arg = None
+                    pool.append(event)
+                    fn(arg)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
 
         deadline = float(until)
         if deadline < self._now:
@@ -247,7 +374,8 @@ class RealtimeEngine(SimulationEngine):
                 # Injections may have scheduled new, earlier events.
                 continue
             self._prune_cancelled()
-            if not self._heap:
+            heap, nowq = self._heap, self._nowq
+            if not heap and not nowq:
                 # Nothing to do: wait briefly for possible injections.
                 with self._cv:
                     if not self._injected:
@@ -255,7 +383,12 @@ class RealtimeEngine(SimulationEngine):
                         if not got:
                             return False
                 continue
-            next_sim = self._heap[0][0]
+            if heap:
+                next_sim = heap[0][0]
+                if nowq and nowq[0] < heap[0]:
+                    next_sim = nowq[0][0]
+            else:
+                next_sim = nowq[0][0]
             if sim_deadline is not None and next_sim > sim_deadline:
                 return False
             if self.factor <= 0:
@@ -281,8 +414,8 @@ class RealtimeEngine(SimulationEngine):
                 # block briefly, then re-check.
                 with self._cv:
                     self._cv.wait(timeout=0.01)
-                if not self._heap and not self._injected and \
-                        not stop_event.triggered:
+                if not self._heap and not self._nowq and \
+                        not self._injected and not stop_event.triggered:
                     continue
                 continue
             self.step()

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PENDING",
     "Event",
+    "Deferred",
     "Timeout",
     "Process",
     "Interrupt",
@@ -131,6 +132,41 @@ class Event:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Deferred:
+    """Pooled leaf entry for the engine's direct-callback fast path.
+
+    Deliberately *not* an :class:`Event`: it carries no value, no callback
+    list and no :class:`Process` wiring -- just a function and a single
+    argument the dispatch loop invokes directly.  Instances are created via
+    :meth:`SimulationEngine.call_later` and recycled into an engine-owned
+    free list once fired, so after warm-up a leaf wait (message-bus
+    delivery, link timer) costs zero allocations.
+
+    Contract: :meth:`cancel` is valid strictly *before* the fire time.
+    Fired handles return to the pool and may already back an unrelated
+    call, so cancelling one later is a bug in the caller.  Cancelled
+    handles are dropped (never pooled), which keeps a defensive second
+    ``cancel()`` harmless.
+    """
+
+    __slots__ = ("fn", "arg", "_cancelled")
+
+    def __init__(self) -> None:
+        self.fn: Optional[Callable[[Any], None]] = None
+        self.arg: Any = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw the deferred call before it fires."""
+        self._cancelled = True
+        self.fn = None
+        self.arg = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self._cancelled else "armed"
+        return f"<Deferred {state} at {id(self):#x}>"
 
 
 class Timeout(Event):

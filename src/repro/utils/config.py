@@ -18,19 +18,55 @@ class ConfigError(Exception):
     """Raised for unknown keys or schema violations."""
 
 
+#: default values safe to share across instances without copying
+_IMMUTABLE = (str, int, float, bool, bytes, frozenset, type(None))
+
+
 class Config:
     """A dict-backed object with schema-checked attribute access.
 
     Subclasses declare ``_schema`` (key -> type or tuple of types) and
     ``_defaults`` (key -> default value).  Unknown keys raise
     :class:`ConfigError` early instead of silently propagating typos.
+
+    Default materialization is the control plane's per-task constructor
+    cost (every :class:`~repro.pilot.description.TaskDescription` of a
+    million-task campaign passes through here), so defaults are *not*
+    deep-copied wholesale: each class caches, once, which defaults are
+    immutable (shared by reference) and which are containers (copied
+    per instance -- empty containers by construction, nested ones by
+    deepcopy).  Semantics are identical to the seed's full deepcopy.
     """
 
     _schema: Dict[str, Any] = {}
     _defaults: Dict[str, Any] = {}
 
+    @classmethod
+    def _default_plan(cls):
+        """(shared-defaults dict, [(key, copier), ...]) for this class."""
+        plan = cls.__dict__.get("_default_plan_cache")
+        if plan is None:
+            shared: Dict[str, Any] = {}
+            copied = []
+            for key, value in cls._defaults.items():
+                if isinstance(value, _IMMUTABLE) or (
+                        isinstance(value, tuple)
+                        and all(isinstance(v, _IMMUTABLE) for v in value)):
+                    shared[key] = value
+                elif isinstance(value, (dict, list, set)) and not value:
+                    copied.append((key, type(value)))
+                else:
+                    copied.append(
+                        (key, lambda v=value: copy.deepcopy(v)))
+            plan = (shared, tuple(copied))
+            cls._default_plan_cache = plan
+        return plan
+
     def __init__(self, from_dict: Mapping[str, Any] | None = None, **kwargs: Any) -> None:
-        data: Dict[str, Any] = copy.deepcopy(self._defaults)
+        shared, copied = self._default_plan()
+        data: Dict[str, Any] = dict(shared)
+        for key, make in copied:
+            data[key] = make()
         merged: Dict[str, Any] = {}
         if from_dict:
             merged.update(from_dict)

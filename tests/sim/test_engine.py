@@ -343,3 +343,103 @@ class TestEventSemantics:
         other = SimulationEngine()
         with pytest.raises(ValueError):
             AllOf(engine, [engine.event(), other.event()])
+
+
+class TestFlattenedKernel:
+    """The now-queue fast path and pooled Deferred dispatch."""
+
+    def test_zero_delay_events_preserve_fifo_order(self, engine):
+        order = []
+        for i in range(5):
+            ev = engine.event()
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+            ev.succeed(i)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_urgent_beats_now_queue_at_same_timestamp(self, engine):
+        from repro.sim.engine import URGENT
+        order = []
+        normal = engine.event()
+        normal.callbacks.append(lambda e: order.append("normal"))
+        normal.succeed()  # rides the now-queue
+        urgent = engine.event()
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        urgent._ok = True
+        urgent._value = None
+        engine.schedule(urgent, 0.0, URGENT)
+        engine.run()
+        # URGENT goes through the heap but must still dispatch first
+        assert order == ["urgent", "normal"]
+
+    def test_now_queue_merges_with_future_heap_events(self, engine):
+        order = []
+
+        def body():
+            yield engine.timeout(1.0)
+            order.append("timeout")
+            ev = engine.event()
+            ev.callbacks.append(lambda e: order.append("immediate"))
+            ev.succeed()
+            yield engine.timeout(1.0)
+            order.append("later")
+        engine.process(body())
+        engine.run()
+        assert order == ["timeout", "immediate", "later"]
+        assert engine.now == 2.0
+
+    def test_peek_and_is_idle_see_the_now_queue(self, engine):
+        assert engine.is_idle()
+        engine.event().succeed()
+        assert not engine.is_idle()
+        assert engine.peek() == 0.0
+        engine.run()
+        assert engine.is_idle()
+        assert engine.peek() == float("inf")
+
+    def test_call_later_zero_delay_fires_in_order(self, engine):
+        order = []
+        engine.call_later(0.0, order.append, "a")
+        engine.call_later(0.0, order.append, "b")
+        engine.run()
+        assert order == ["a", "b"]
+
+    def test_call_later_with_delay_fires_at_time(self, engine):
+        seen = []
+        engine.call_later(3.0, lambda arg: seen.append((engine.now, arg)),
+                          "x")
+        engine.run()
+        assert seen == [(3.0, "x")]
+
+    def test_call_later_cancel_before_fire(self, engine):
+        seen = []
+        handle = engine.call_later(1.0, seen.append, "dropped")
+        engine.call_later(2.0, seen.append, "kept")
+        handle.cancel()
+        engine.run()
+        assert seen == ["kept"]
+        assert engine.now == 2.0
+
+    def test_deferred_handles_are_pooled(self, engine):
+        engine.call_later(0.0, lambda _: None)
+        engine.run()
+        assert len(engine._pool) == 1
+        recycled = engine._pool[-1]
+        again = engine.call_later(0.0, lambda _: None)
+        assert again is recycled  # reused, not reallocated
+        engine.run()
+
+    def test_cancelled_deferred_is_not_pooled(self, engine):
+        handle = engine.call_later(1.0, lambda _: None)
+        handle.cancel()
+        engine.run()
+        assert handle not in engine._pool
+
+    def test_run_until_event_with_cancelled_heap_head(self, engine):
+        # regression for the double-prune bug: a cancelled timeout at the
+        # heap head must be skipped exactly once on the until=Event path
+        target = engine.timeout(2.0)
+        doomed = engine.timeout(1.0)
+        doomed.cancel()
+        engine.run(until=target)
+        assert engine.now == 2.0

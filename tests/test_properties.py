@@ -333,6 +333,141 @@ def test_indexed_scheduler_matches_reference(data):
                 assert na.free_mem_gb == nb.free_mem_gb
 
 
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_sharded_scheduler_matches_reference(data):
+    """The sharded scheduler grants the same *set* as the seed algorithm.
+
+    Randomized submit/release/withdraw/crash-repair traffic replays
+    through the merge-layer :class:`ShardedScheduler` (1-4 shards) and
+    the seed :class:`ReferenceScheduler`.  After every operation the
+    grant sets and queue lengths must match and no core/GPU index may be
+    double-booked.  The single-shard case must further reproduce the
+    reference's grant *order* and exact slot assignments (the sharded
+    scheduler degenerates to the flat one).
+    """
+    from repro.pilot.agent.reference import ReferenceScheduler
+    from repro.pilot.agent.sharded import ShardedScheduler
+
+    n_nodes = data.draw(st.integers(min_value=1, max_value=6))
+    n_shards = data.draw(st.integers(min_value=1, max_value=4))
+    cores = data.draw(st.integers(min_value=2, max_value=8))
+    gpus = data.draw(st.integers(min_value=0, max_value=2))
+    with Session(seed=0) as sa, Session(seed=0) as sb:
+        nodes_a = NodeList.build(n_nodes, cores, gpus, 64.0)
+        nodes_b = NodeList.build(n_nodes, cores, gpus, 64.0)
+        sharded = ShardedScheduler(sa, nodes_a, "pilot.sh",
+                                   shards=n_shards)
+        reference = ReferenceScheduler(sb, nodes_b, "pilot.sh")
+        node_names = [n.name for n in nodes_a]
+        pairs = {}          # uid -> (task_a, task_b)
+        status = {}         # uid -> queued | held | done
+        n_ops = data.draw(st.integers(min_value=1, max_value=35))
+        for i in range(n_ops):
+            op = data.draw(st.sampled_from(
+                ["submit", "submit", "submit", "release", "withdraw",
+                 "crash_cycle", "kick"]))
+            if op == "submit":
+                tags = {}
+                if data.draw(st.booleans()):
+                    tags["colocate"] = data.draw(st.sampled_from("gh"))
+                elif data.draw(st.booleans()):
+                    tags["affinity"] = data.draw(st.sampled_from("xy"))
+                desc = TaskDescription(
+                    executable="x", tags=tags,
+                    priority=data.draw(st.integers(0, 2)),
+                    ranks=data.draw(st.integers(1, 2)),
+                    cores_per_rank=data.draw(st.integers(1, cores + 1)),
+                    gpus_per_rank=data.draw(st.integers(0, max(gpus, 1))))
+                uid = f"t{i}"
+                ta, tb = Task(sa, desc, uid), Task(sb, desc, uid)
+                if data.draw(st.booleans()):
+                    avoid = set(data.draw(st.lists(
+                        st.sampled_from(node_names), max_size=2)))
+                    ta.avoid_nodes = set(avoid)
+                    tb.avoid_nodes = set(avoid)
+                pairs[uid] = (ta, tb)
+                ga = sharded.schedule(ta)
+                gb = reference.schedule(tb)
+                assert (ga.ok, gb.ok) in ((True, True), (False, False),
+                                          (None, None))
+                if ga.ok is False:
+                    status[uid] = "done"  # infeasible on both
+                elif ga.ok:
+                    status[uid] = "held"
+                else:
+                    status[uid] = "queued"
+            elif op == "release":
+                held = [u for u, s in status.items() if s == "held"]
+                if not held:
+                    continue
+                uid = data.draw(st.sampled_from(sorted(held)))
+                ta, tb = pairs[uid]
+                status[uid] = "done"
+                sharded.release(ta)
+                reference.release(tb)
+            elif op == "withdraw":
+                queued = [u for u, s in status.items() if s == "queued"]
+                if not queued:
+                    continue
+                uid = data.draw(st.sampled_from(sorted(queued)))
+                ta, tb = pairs[uid]
+                assert sharded.withdraw(ta) == reference.withdraw(tb)
+                status[uid] = "done"
+            elif op == "crash_cycle":
+                idx = data.draw(st.integers(0, n_nodes - 1))
+                assert sorted(sharded.held_on_node(idx)) == \
+                    sorted(reference.held_on_node(idx))
+                nodes_a[idx].mark_down()
+                nodes_b[idx].mark_down()
+                for uid in sharded.held_on_node(idx):
+                    ta, tb = pairs[uid]
+                    status[uid] = "done"
+                    sharded.release(ta)
+                    reference.release(tb)
+                nodes_a[idx].mark_up()
+                nodes_b[idx].mark_up()
+                sharded.kick()
+                reference.kick()
+            else:
+                sharded.kick()
+                reference.kick()
+            # grants newly fired by this op move queued -> held
+            for uid, (ta, _tb) in pairs.items():
+                if status.get(uid) == "queued" and ta.slots:
+                    status[uid] = "held"
+            # -- grant-set equivalence after every operation ---------------
+            assert sorted(sharded.held_tasks) == sorted(reference.held_tasks)
+            assert sharded.queue_length == reference.queue_length
+            # shard pending counts are an exact partition of the queue
+            assert sum(sharded.shard_pending()) == sharded.queue_length
+            # -- no double-booking across the whole node array -------------
+            booked = {}  # node_index -> (set of cores, set of gpus)
+            for uid, (ta, _tb) in pairs.items():
+                for slot in ta.slots:
+                    cores_seen, gpus_seen = booked.setdefault(
+                        slot.node_index, (set(), set()))
+                    assert not (cores_seen & set(slot.cores)), uid
+                    assert not (gpus_seen & set(slot.gpus)), uid
+                    cores_seen.update(slot.cores)
+                    gpus_seen.update(slot.gpus)
+            for idx, (cores_seen, gpus_seen) in booked.items():
+                node = nodes_a[idx]
+                assert not (cores_seen & set(node._free_cores))
+                assert not (gpus_seen & set(node._free_gpus))
+            if n_shards == 1:
+                # degenerate case: full behavioural equivalence with the
+                # seed -- grant order and exact slot assignments
+                rows_a = sa.profiler.events(event="schedule_ok")
+                rows_b = sb.profiler.events(event="schedule_ok")
+                assert [r[1] for r in rows_a] == [r[1] for r in rows_b]
+                for uid, (ta, tb) in pairs.items():
+                    assert [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                            for s in ta.slots] == \
+                        [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                         for s in tb.slots], uid
+
+
 # ---------------------------------------------------------------------------
 # Data subsystem: caches and replica registry
 # ---------------------------------------------------------------------------
