@@ -227,17 +227,45 @@ class MessageBus:
 
     def publish(self, topic: str, payload: Any,
                 sender: Optional[Address] = None) -> int:
-        """Publish to all current subscribers; returns the fan-out count."""
-        subs = list(self._subs.get(topic, ()))
+        """Publish to all current subscribers; returns the fan-out count.
+
+        Subscribers whose fabric delay is identical (notably co-located
+        ones, and *all* of them for sender-less publishes, which are
+        delay-0) share **one** engine hop: the per-subscriber messages are
+        grouped by delay and each group lands through a single pooled
+        deferred that fans out in subscription order.  A wide same-delay
+        fan-out therefore costs one queue entry instead of one per
+        subscriber, and delivery order is unchanged -- same-delay entries
+        used to land back-to-back in subscription order anyway, and
+        distinct delays never shared a timestamp.
+        """
+        subs = self._subs.get(topic, ())
+        if not subs:
+            return 0
+        subs = list(subs)
         src = sender.platform if sender else None
+        now = self.engine.now
+        groups: Dict[float, list] = {}
+        order: List[float] = []
         for sub in subs:
             msg = Message(kind="pub", payload=payload, sender=sender,
                           topic=topic)
             delay = 0.0
             if src is not None:
-                delay = self.fabric.transfer_time(src, sub.platform, msg.nbytes)
-            msg.sent_at = self.engine.now
-            self.engine.call_later(delay, self._land_pub, (msg, sub))
+                delay = self.fabric.transfer_time(src, sub.platform,
+                                                  msg.nbytes)
+            msg.sent_at = now
+            flights = groups.get(delay)
+            if flights is None:
+                groups[delay] = flights = []
+                order.append(delay)
+            flights.append((msg, sub))
+        for delay in order:
+            flights = groups[delay]
+            if len(flights) == 1:
+                self.engine.call_later(delay, self._land_pub, flights[0])
+            else:
+                self.engine.call_later(delay, self._land_pub_batch, flights)
         return len(subs)
 
     def _land_pub(self, flight: Tuple[Message, Subscription]) -> None:
@@ -246,6 +274,12 @@ class MessageBus:
             msg.received_at = self.engine.now
             self.delivered_count += 1
             sub.inbox.put(msg)
+
+    def _land_pub_batch(self, flights: List[Tuple[Message, Subscription]]) \
+            -> None:
+        land = self._land_pub
+        for flight in flights:
+            land(flight)
 
     # -- RPC convenience -------------------------------------------------------------
     def serve(self, socket: ServerSocket,

@@ -160,6 +160,42 @@ class NodeState:
         self._free_mem = min(self.mem_gb, self._free_mem + slot.mem_gb)
         self._changed("release")
 
+    def release_many(self, slots: List[Slot]) -> None:
+        """Return many slots' resources with one change notification.
+
+        End-state equivalent to sequential :meth:`release` calls (same
+        double-release detection, including overlaps *between* the given
+        slots) but the free id lists are rebuilt and sorted once and
+        listeners fire once for the whole group -- a scheduler draining a
+        dispatch batch pays one capacity-index update per touched node
+        instead of one per slot.  Unlike the sequential loop the batch is
+        atomic: on a double-release nothing has been returned.
+        """
+        if len(slots) == 1:
+            self.release(slots[0])
+            return
+        free_c = set(self._free_cores)
+        free_g = set(self._free_gpus)
+        mem = 0.0
+        for slot in slots:
+            if slot.node_index != self.index:
+                raise RuntimeError(
+                    f"slot for node {slot.node_index} released on node "
+                    f"{self.index}")
+            overlap_c = free_c.intersection(slot.cores)
+            overlap_g = free_g.intersection(slot.gpus)
+            if overlap_c or overlap_g:
+                raise RuntimeError(
+                    f"double release on node {self.name}: cores "
+                    f"{overlap_c}, gpus {overlap_g} already free")
+            free_c.update(slot.cores)
+            free_g.update(slot.gpus)
+            mem += slot.mem_gb
+        self._free_cores = sorted(free_c)
+        self._free_gpus = sorted(free_g)
+        self._free_mem = min(self.mem_gb, self._free_mem + mem)
+        self._changed("release")
+
     def __repr__(self) -> str:
         return (f"<NodeState {self.name} free={self.free_cores}c/"
                 f"{self.free_gpus}g/{self._free_mem:.0f}GB>")

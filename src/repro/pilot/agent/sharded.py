@@ -35,13 +35,25 @@ Because grant order and slot choice are both preserved, a single-shard
 multi-shard one produces the identical grant *set* and slot assignments
 -- property-tested in ``tests/pilot/test_sharded.py`` and
 ``tests/test_properties.py``.
+
+Two batch entry points serve same-timestamp dispatch bursts without
+changing any of the above: :meth:`ShardedScheduler.schedule_batch`
+vectorises consecutive same-shape submissions (shape key, feasibility
+gate and infeasible-memo evaluated once per run; single-rank
+unconstrained runs place through a cursor walk that only descends the
+capacity index when the cursor node stops fitting), and
+:meth:`ShardedScheduler.release_batch` drops the per-release wake pass
+when nothing is waiting.  Both are property-tested equivalent to their
+sequential counterparts.  When the session engine is lane-partitioned
+(``SimulationEngine(lanes=N)``), grant events are tagged with the owning
+node partition's dispatch lane.
 """
 
 from __future__ import annotations
 
 import itertools
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from ...hpc.node import FreeCapacityIndex, NodeList, NodeState, Slot
 from ...sim.events import Event
@@ -58,10 +70,10 @@ log = get_logger("pilot.agent.sharded")
 
 
 class ShardedSchedulerStats:
-    """Hot-path counters, including merge-layer stealing."""
+    """Hot-path counters, including merge-layer stealing and batching."""
 
     __slots__ = ("place_attempts", "grants", "passes", "memo_hits",
-                 "steals")
+                 "steals", "batch_runs", "batch_tasks")
 
     def __init__(self) -> None:
         self.place_attempts = 0
@@ -69,6 +81,8 @@ class ShardedSchedulerStats:
         self.passes = 0
         self.memo_hits = 0
         self.steals = 0  # shape queues re-homed on drain imbalance
+        self.batch_runs = 0   # same-shape runs placed via the vector walk
+        self.batch_tasks = 0  # tasks granted through those runs
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -154,7 +168,27 @@ class ShardedScheduler:
         self._colocate_node: Dict[str, int] = {}
         self._affinity_node: Dict[str, int] = {}
         self._rr_index = 0
+        #: total parked (infeasible-memoised) shapes across shards: an O(1)
+        #: guard that lets release() skip the wake machinery entirely in
+        #: the steady state where nothing is waiting on capacity
+        self._parked_count = 0
         self.stats = ShardedSchedulerStats()
+        #: grant events are tagged with the owning node partition's dispatch
+        #: lane when the session engine is lane-partitioned (cached once:
+        #: the engine is fixed for the session's lifetime)
+        self._engine_lanes = getattr(session.engine, "_nlanes", 1)
+        #: hot-path aliases: the engine and profiler are fixed for the
+        #: session's lifetime, and _grant runs once per task
+        self._engine = session.engine
+        self._prof_record = session.profiler.record
+        # Observability (poll-only: the per-shard pending counts and the
+        # steal counter are maintained on the hot path anyway, so sampling
+        # them costs nothing between ticks)
+        obs = getattr(session, "observability", None)
+        self._obs_metrics = obs.metrics if obs is not None else None
+        if self._obs_metrics is not None:
+            self._obs_steals_seen = 0
+            self._obs_metrics.add_poll(self._obs_poll)
         # the per-shard indexes supersede the NodeList's list-wide one:
         # detach it so each allocate/release pays one segment-tree update,
         # not two (it rebuilds lazily if find_fit is used again)
@@ -188,6 +222,27 @@ class ShardedScheduler:
     def _node_changed(self, node: NodeState, kind: str) -> None:
         if kind == "up":
             self._capacity_increased([node])
+
+    # -- observability -----------------------------------------------------------
+    def _obs_poll(self) -> None:
+        """Per-sample-tick snapshot of shard balance and steal activity."""
+        metrics = self._obs_metrics
+        pilot = {"pilot": self.pilot_uid}
+        metrics.gauge("scheduler_pending_total", pilot).set(
+            self._pending_count)
+        for shard in self._shards:
+            metrics.gauge("scheduler_shard_pending",
+                          {"pilot": self.pilot_uid,
+                           "shard": str(shard.sid)}).set(shard.pending_count)
+        steals = self.stats.steals
+        delta = steals - self._obs_steals_seen
+        if delta:
+            metrics.counter("scheduler_steals_total", pilot).inc(delta)
+            self._obs_steals_seen = steals
+        total = self.nodes.total_cores
+        if total:
+            used = total - self.nodes.total_free_cores
+            metrics.gauge("pilot_core_utilization", pilot).set(used / total)
 
     # -- validation / routing ----------------------------------------------------
     @staticmethod
@@ -253,9 +308,153 @@ class ShardedScheduler:
         if slots is None:
             sid = self._enqueue(shape, task, event)
             self._shards[sid].infeasible.add(shape)
+            self._parked_count += 1
             return event
         self._grant(task, event, slots)
         return event
+
+    def schedule_batch(self, tasks: List["Task"]) -> List[Event]:
+        """Request slots for many tasks; equivalent to sequential calls.
+
+        Returns one event per task, in order.  The outcome (grants, slot
+        assignments, queue state, grant-event order) is identical to
+        calling :meth:`schedule` once per task -- property-tested in
+        ``tests/test_properties.py`` -- but consecutive same-shape tasks
+        are processed as one **run**: the shape key, feasibility gate and
+        infeasible-memo lookup are evaluated once per run, and single-rank
+        runs without placement constraints go through a vectorised walk
+        (:meth:`_place_run`) that keeps the round-robin cursor in a local
+        and allocates straight off it instead of re-entering the full
+        ``_place`` machinery per task.  This is the batch half of the
+        "parallel event dispatch" work: a same-timestamp dispatch burst of
+        N same-shape submissions costs one descent per *node touched*
+        rather than N independent placement calls.
+        """
+        events: List[Event] = []
+        if not tasks:
+            return events
+        shape_of = self._shape_of
+        # Bulk campaigns share description objects across tasks; shape
+        # extraction walks the schema-checked Config attribute path, so
+        # memoise it per distinct description *for this call*.  No user
+        # code runs mid-batch (grant callbacks only fire once the engine
+        # resumes), so a description cannot change between the tasks that
+        # share it -- the memo is exactly the sequential read sequence.
+        # The tasks list keeps every description alive, so id() is stable.
+        memo: Dict[int, ShapeKey] = {}
+        shapes: List[ShapeKey] = []
+        for task in tasks:
+            desc_id = id(task.description)
+            shape = memo.get(desc_id)
+            if shape is None:
+                shape = shape_of(task)
+                memo[desc_id] = shape
+            shapes.append(shape)
+        n = len(tasks)
+        i = 0
+        while i < n:
+            shape = shapes[i]
+            j = i + 1
+            while j < n and shapes[j] == shape:
+                j += 1
+            self._schedule_run(tasks[i:j], shape, events)
+            i = j
+        return events
+
+    def _schedule_run(self, run: List["Task"], shape: ShapeKey,
+                      events: List[Event]) -> None:
+        """Schedule one consecutive same-shape run (appends to *events*)."""
+        new_event = self.session.engine.event
+        key = shape[:3]
+        fits = self._fit_cache.get(key)
+        if fits is None:
+            fits = self.nodes.can_ever_fit(*key)
+            self._fit_cache[key] = fits
+        cores, gpus, mem, ranks, group = shape
+        feasible = (fits and ranks * cores <= self.nodes.total_cores
+                    and ranks * gpus <= self.nodes.total_gpus)
+        home = self._home.get(shape)
+        parked = home is not None and shape in self._shards[home].infeasible
+        simple = ranks == 1 and group is None
+        stats = self.stats
+        nodes = self.nodes
+        nnodes = len(nodes)
+        pos = self._rr_index
+        in_run = False  # currently inside a vectorised sub-run?
+        #: per-description tag-affinity memo (same argument as the shape
+        #: memo in schedule_batch: descriptions are immutable mid-batch)
+        desc_affinity: Dict[int, Any] = {}
+        for task in run:
+            event = new_event()
+            events.append(event)
+            uid = task.uid
+            if uid in self._held:
+                event.fail(SchedulerError(f"{uid} already holds slots"))
+                continue
+            if uid in self._entries:
+                event.fail(SchedulerError(f"{uid} is already queued"))
+                continue
+            if not feasible:
+                event.fail(SchedulerError(
+                    f"{uid} can never fit on pilot {self.pilot_uid}: "
+                    f"needs {ranks * cores}c/{ranks * gpus}g"))
+                continue
+            if parked:
+                stats.memo_hits += 1
+                self._enqueue(shape, task, event)
+                continue
+            if simple:
+                d = task.description
+                desc_id = id(d)
+                if desc_id in desc_affinity:
+                    affinity = desc_affinity[desc_id]
+                else:
+                    tags = d.tags
+                    affinity = tags.get("affinity") if tags else None
+                    desc_affinity[desc_id] = affinity
+                if affinity is None:
+                    affinity = getattr(task, "affinity_key", None)
+                if affinity is None and \
+                        not getattr(task, "avoid_nodes", None):
+                    # Vectorised walk: the round-robin cursor lives in a
+                    # local; the cursor node is re-checked with one O(1)
+                    # fits() test and the segment-tree descent only runs
+                    # when that node stopped fitting.  Placement per task
+                    # is bit-identical to _place (first fit from the
+                    # cursor with wrap-around, cursor -> node + 1).
+                    stats.place_attempts += 1
+                    node = nodes[pos]
+                    if not node.fits(cores, gpus, mem):
+                        node = self._find_fit(cores, gpus, mem, pos, None)
+                    if node is None:
+                        self._rr_index = pos
+                        sid = self._enqueue(shape, task, event)
+                        self._shards[sid].infeasible.add(shape)
+                        self._parked_count += 1
+                        parked = True
+                        continue
+                    slot = node.allocate(cores, gpus, mem)
+                    pos = slot.node_index + 1
+                    if pos == nnodes:
+                        pos = 0
+                    if not in_run:
+                        in_run = True
+                        stats.batch_runs += 1
+                    stats.batch_tasks += 1
+                    self._grant(task, event, [slot])
+                    continue
+            in_run = False
+            self._rr_index = pos
+            slots = self._place(task, shape)
+            pos = self._rr_index
+            if slots is None:
+                sid = self._enqueue(shape, task, event)
+                self._shards[sid].infeasible.add(shape)
+                self._parked_count += 1
+                parked = True
+            else:
+                self._grant(task, event, slots)
+        self._rr_index = pos
 
     def release(self, task: "Task") -> None:
         """Return a task's slots and re-run placement for waiters."""
@@ -272,6 +471,42 @@ class ShardedScheduler:
                 changed.append(self.nodes[slot.node_index])
         task.slots = []
         self._capacity_increased(changed)
+
+    def release_batch(self, tasks: List["Task"]) -> None:
+        """Release many tasks' slots with one wake/steal pass.
+
+        Behaviourally identical to sequential :meth:`release` calls: when
+        nothing is parked or pending the per-release wake pass is a no-op
+        anyway (the O(1) guards in :meth:`_capacity_increased` make each
+        one cheap, this skips even those plus the changed-node list
+        bookkeeping) and slots are returned grouped by node through
+        :meth:`NodeState.release_many`, so the capacity indexes refresh
+        once per touched node rather than once per slot; otherwise it
+        falls back to per-task release so waiters wake at exactly the
+        same points in the release sequence.
+        """
+        if self._parked_count or self._pending_count:
+            for task in tasks:
+                self.release(task)
+            return
+        nodes = self.nodes
+        held = self._held
+        by_node: Dict[int, List[Slot]] = {}
+        for task in tasks:
+            slots = held.pop(task.uid, None)
+            if slots is None:
+                raise SchedulerError(f"{task.uid} holds no slots")
+            for slot in slots:
+                node_index = slot.node_index
+                group = by_node.get(node_index)
+                if group is None:
+                    by_node[node_index] = [slot]
+                else:
+                    group.append(slot)
+                self._drop_node_held(node_index, task.uid)
+            task.slots = []
+        for node_index, group in by_node.items():
+            nodes[node_index].release_many(group)
 
     def withdraw(self, task: "Task") -> bool:
         """Remove a queued (not yet granted) request.  True if found."""
@@ -332,10 +567,15 @@ class ShardedScheduler:
             holders = self._node_held.setdefault(slot.node_index, {})
             holders[task.uid] = holders.get(task.uid, 0) + 1
         task.slots = slots
+        if self._engine_lanes != 1:
+            # Tag the grant (and the completion chain its callbacks spawn
+            # on the same Event) with the owning node partition's dispatch
+            # lane, so same-partition traffic shares one engine queue pair.
+            event.lane = (slots[0].node_index // self._shard_span) \
+                % self._engine_lanes
         self.stats.grants += 1
-        now = self.session.engine.now
-        self.session.profiler.record(now, task.uid, "schedule_ok",
-                                     self.pilot_uid)
+        self._prof_record(self._engine.now, task.uid, "schedule_ok",
+                          self.pilot_uid)
         event.succeed(slots)
 
     def _drop_node_held(self, node_index: int, uid: str) -> None:
@@ -360,26 +600,40 @@ class ShardedScheduler:
         *changed* node list, wake a parked shape iff some changed node
         now fits one rank; for a blind kick, fall back to the per-shard
         index roots (their max over shards equals the global root).
+
+        Steady-state releases (nothing parked, nothing pending) reduce to
+        two integer tests: the wake loop is gated on the cross-shard
+        parked-shape count, the placement pass on the ready heap being
+        non-empty (shapes only become ready through a wake), and stealing
+        on the total pending count.  All three guards are exact -- the
+        skipped work would have been a no-op -- so behaviour is unchanged
+        while the million-task drain stops paying the full merge-layer
+        sweep on every one of its ~1M releases.
         """
-        for shard in self._shards:
-            infeasible = shard.infeasible
-            if not infeasible:
-                continue
-            if changed is None:
-                shards = self._shards
-                woken = [shape for shape in infeasible
-                         if any(s.index.root_qualifies(shape[0], shape[1],
-                                                       shape[2])
-                                for s in shards)]
-            else:
-                woken = [shape for shape in infeasible
-                         if any(node.fits(shape[0], shape[1], shape[2])
-                                for node in changed)]
-            for shape in woken:
-                infeasible.discard(shape)
-                self._push_ready(shape)
-        self._try_schedule()
-        self._steal_if_imbalanced()
+        if self._parked_count:
+            for shard in self._shards:
+                infeasible = shard.infeasible
+                if not infeasible:
+                    continue
+                if changed is None:
+                    shards = self._shards
+                    woken = [shape for shape in infeasible
+                             if any(s.index.root_qualifies(shape[0],
+                                                           shape[1],
+                                                           shape[2])
+                                    for s in shards)]
+                else:
+                    woken = [shape for shape in infeasible
+                             if any(node.fits(shape[0], shape[1], shape[2])
+                                    for node in changed)]
+                for shape in woken:
+                    infeasible.discard(shape)
+                    self._parked_count -= 1
+                    self._push_ready(shape)
+        if self._ready:
+            self._try_schedule()
+        if self._pending_count >= self.STEAL_MIN_PENDING:
+            self._steal_if_imbalanced()
 
     def _try_schedule(self) -> None:
         """Drain the merge-layer ready heap in global head order."""
@@ -406,6 +660,7 @@ class ShardedScheduler:
             slots = self._place(task, shape)
             if slots is None:
                 shard.infeasible.add(shape)
+                self._parked_count += 1
                 continue
             heappop(queue)
             del self._entries[task.uid]
@@ -422,6 +677,8 @@ class ShardedScheduler:
         it keeps per-shard pending state (and the wake work attached to
         it) balanced when one partition's traffic drains first.
         """
+        if self._pending_count < self.STEAL_MIN_PENDING:
+            return  # richest shard cannot clear the threshold either
         if len(self._shards) < 2:
             return
         poorest = min(self._shards, key=lambda s: s.pending_count)
@@ -459,12 +716,25 @@ class ShardedScheduler:
         index over the overlap with the scan range, reproducing
         ``NodeList.find_fit``'s result (including the soft-``avoid``
         deferral) exactly.
+
+        The O(1) fast path first probes the start node directly: the
+        round-robin cursor points one past the previous grant, and on a
+        lightly-loaded pilot (the steady state of a windowed drain) that
+        node usually fits, making the common case a single ``fits()``
+        test instead of a segment-tree descent.  First-fit from *start*
+        returns the start node whenever it qualifies, so the shortcut is
+        semantics-neutral; it is skipped under ``avoid`` to keep the
+        deferral bookkeeping in one place.
         """
         nodes = self.nodes
+        n = len(nodes)
+        if not avoid and start < n:
+            node = nodes[start]
+            if node.fits(cores, gpus, mem_gb):
+                return node
         shards = self._shards
         span = self._shard_span
         deferred: Optional[NodeState] = None
-        n = len(nodes)
         for lo, hi in ((start, n), (0, start)):
             pos = lo
             while pos < hi:

@@ -115,6 +115,11 @@ class TaskManager:
         self._tasks: Dict[str, Task] = {}
         self._drivers: Dict[str, Process] = {}
         self._callbacks: List[Callable[[Task, str], None]] = []
+        # batched state-transition dispatch (see register_batch_callback)
+        self._batch_callbacks: List[
+            Callable[[List[tuple]], None]] = []
+        self._batch_buffer: List[tuple] = []
+        self._batch_armed = False
         self._rr = itertools.count()
         #: live (non-final) tasks bound per pilot uid, kept O(1) so
         #: placement never rescans the task table
@@ -541,6 +546,37 @@ class TaskManager:
         self._callbacks.append(callback)
         for task in self._tasks.values():
             task.on_state(callback)
+
+    def register_batch_callback(
+            self, callback: Callable[[List[tuple]], None]) -> None:
+        """Invoke ``callback([(task, state), ...])`` once per dispatch batch.
+
+        The coalesced counterpart of :meth:`register_callback` for
+        consumers that only need transitions in bulk (telemetry exporters,
+        progress reporters, accounting).  Per-task transitions are
+        buffered as they happen and flushed through **one** zero-delay
+        engine hop per same-timestamp dispatch batch: when a vectorised
+        grant (``ShardedScheduler.schedule_batch``) or a completion
+        cascade moves N tasks at one simulated instant, subscribers see a
+        single call with N ``(task, state)`` pairs -- in exact transition
+        order -- instead of N separate dispatches.  Transitions of
+        different timestamps are never merged.
+        """
+        if not self._batch_callbacks:
+            self.register_callback(self._batch_tap)
+        self._batch_callbacks.append(callback)
+
+    def _batch_tap(self, task: Task, state: str) -> None:
+        self._batch_buffer.append((task, state))
+        if not self._batch_armed:
+            self._batch_armed = True
+            self.session.engine.call_later(0.0, self._flush_batch)
+
+    def _flush_batch(self, _arg=None) -> None:
+        self._batch_armed = False
+        batch, self._batch_buffer = self._batch_buffer, []
+        for callback in self._batch_callbacks:
+            callback(batch)
 
     # -- introspection -----------------------------------------------------------------
     def get(self, uid: str) -> Task:

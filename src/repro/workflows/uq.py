@@ -100,7 +100,9 @@ def prepare_model_data(model: str, config: UQConfig) -> Dict[str, np.ndarray]:
         n_samples=config.n_train + config.n_test,
         n_classes=config.n_classes, latent_dim=config.latent_dim,
         seed=config.seed)
-    rng = np.random.default_rng(config.seed * 99 + hash(model) % 1000)
+    digest = hashlib.sha256(f"noise:{model}".encode()).digest()
+    rng = np.random.default_rng(
+        config.seed * 99 + int.from_bytes(digest[:2], "little"))
     features = featurize(model, dataset["latents"], rng, config.feature_dim)
     n_train = config.n_train
     return {

@@ -208,3 +208,64 @@ class TestPubSub:
         (msg,) = got
         assert msg.sent_at == 0.0
         assert msg.received_at > msg.sent_at  # WAN latency applied
+
+
+class TestPubCoalescing:
+    """Same-delay fan-out shares one engine hop (batched landing)."""
+
+    def test_senderless_fanout_costs_one_queue_entry(self, setup):
+        engine, _, bus = setup
+        subs = [bus.subscribe("state", platform="delta") for _ in range(5)]
+        assert bus.publish("state", "payload") == 5
+        # all five deliveries ride one pooled deferred in the now-queue
+        assert sum(engine.lane_depths()) == 1
+        engine.run()
+        for sub in subs:
+            assert len(sub.inbox) == 1
+        assert bus.delivered_count == 5
+
+    def test_batched_landing_preserves_subscription_order(self, setup):
+        engine, _, bus = setup
+        subs = [bus.subscribe("state", platform="delta") for _ in range(4)]
+        got = []
+
+        def listener(sub, tag):
+            msg = yield sub.get()
+            got.append((tag, msg.payload))
+
+        for i, sub in enumerate(subs):
+            engine.process(listener(sub, i))
+        bus.publish("state", "x")
+        engine.run()
+        assert got == [(0, "x"), (1, "x"), (2, "x"), (3, "x")]
+
+    def test_cancelled_subscription_skipped_inside_batch(self, setup):
+        engine, _, bus = setup
+        keep1 = bus.subscribe("state", platform="delta")
+        doomed = bus.subscribe("state", platform="delta")
+        keep2 = bus.subscribe("state", platform="delta")
+        assert bus.publish("state", "late") == 3
+        doomed.cancel()  # after publish, before the batch lands
+        engine.run()
+        assert len(keep1.inbox) == 1
+        assert len(doomed.inbox) == 0
+        assert len(keep2.inbox) == 1
+        assert bus.delivered_count == 2
+
+    def test_distinct_delays_never_share_a_group(self, setup):
+        engine, _, bus = setup
+        local = bus.subscribe("state", platform="r3")
+        remote = bus.subscribe("state", platform="delta")
+        sender = bus.connect(platform="r3")
+        arrivals = {}
+
+        def listener(sub, tag):
+            msg = yield sub.get()
+            arrivals[tag] = msg.received_at
+
+        engine.process(listener(local, "local"))
+        engine.process(listener(remote, "remote"))
+        bus.publish("state", "x", sender=sender.address)
+        engine.run()
+        # intra-platform delivery beats the WAN hop; both were charged
+        assert 0 < arrivals["local"] < arrivals["remote"]

@@ -71,6 +71,54 @@ class TestNodeState:
             node.allocate(cores=-1)
 
 
+class TestReleaseMany:
+    def test_matches_sequential_release(self, node):
+        slots = [node.allocate(cores=2, gpus=1, mem_gb=8.0)
+                 for _ in range(3)]
+        node.release_many(slots)
+        assert node.free_cores == 8
+        assert node.free_gpus == 4
+        assert node.free_mem_gb == 64.0
+        assert sorted(node._free_cores) == node._free_cores
+        assert sorted(node._free_gpus) == node._free_gpus
+
+    def test_single_slot_delegates(self, node):
+        slot = node.allocate(cores=2)
+        node.release_many([slot])
+        assert node.free_cores == 8
+
+    def test_fires_one_change_notification(self, node):
+        kinds = []
+        node._listeners.append(lambda n, kind: kinds.append(kind))
+        slots = [node.allocate(cores=1) for _ in range(4)]
+        del kinds[:]
+        node.release_many(slots)
+        assert kinds == ["release"]
+
+    def test_double_release_detected_and_atomic(self, node):
+        s1 = node.allocate(cores=2, gpus=1)
+        s2 = node.allocate(cores=2, gpus=1)
+        node.release(s1)
+        free_before = node.free_cores
+        with pytest.raises(RuntimeError, match="double release"):
+            node.release_many([s2, s1])
+        # atomic: s2 was not returned either
+        assert node.free_cores == free_before
+
+    def test_duplicate_within_batch_detected(self, node):
+        slot = node.allocate(cores=2)
+        with pytest.raises(RuntimeError, match="double release"):
+            node.release_many([slot, slot])
+
+    def test_wrong_node_detected(self, node):
+        other = NodeState(index=1, name="node00001", cores=8, gpus=4,
+                          mem_gb=64)
+        s_other = other.allocate(cores=1)
+        s_mine = node.allocate(cores=1)
+        with pytest.raises(RuntimeError, match="released on node"):
+            node.release_many([s_mine, s_other])
+
+
 class TestNodeList:
     def test_build(self):
         nl = NodeList.build(count=4, cores=8, gpus=2, mem_gb=32.0)

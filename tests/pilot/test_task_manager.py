@@ -440,3 +440,41 @@ class TestBulkSubmission:
         with pytest.raises(ValueError, match="chunk_size"):
             tmgr.submit_tasks(
                 [TaskDescription(executable="x")], chunk_size=0)
+
+
+class TestBatchCallbacks:
+    """Coalesced state-transition dispatch via register_batch_callback."""
+
+    def test_batch_stream_equals_per_task_stream(self, env):
+        session, _, tmgr, _ = env
+        per, batches = [], []
+        tmgr.register_callback(lambda t, s: per.append((t.uid, s)))
+        tmgr.register_batch_callback(batches.append)
+        tasks = tmgr.submit_tasks(
+            [TaskDescription(executable="x", duration_s=1.0)
+             for _ in range(4)])
+        session.run(until=tmgr.wait_tasks(tasks))
+        session.run()  # drain the last armed flush
+        flat = [(t.uid, s) for batch in batches for (t, s) in batch]
+        assert flat == per
+        # same-instant transitions coalesce: fewer batches than transitions
+        assert len(batches) < len(per)
+        assert any(len(batch) > 1 for batch in batches)
+
+    def test_multiple_batch_callbacks_share_one_tap(self, env):
+        session, _, tmgr, _ = env
+        a, b = [], []
+        tmgr.register_batch_callback(a.append)
+        tmgr.register_batch_callback(b.append)
+        # only one buffering tap is registered on the per-task stream
+        assert tmgr._callbacks.count(tmgr._batch_tap) == 1
+        (task,) = tmgr.submit_tasks(
+            TaskDescription(executable="x", duration_s=1.0))
+        session.run(until=tmgr.wait_tasks([task]))
+        session.run()
+        assert a == b
+        assert a  # both actually saw the transitions
+
+    def test_no_batch_callbacks_means_no_tap(self, env):
+        _, _, tmgr, _ = env
+        assert tmgr._batch_tap not in tmgr._callbacks

@@ -468,6 +468,181 @@ def test_sharded_scheduler_matches_reference(data):
                          for s in tb.slots], uid
 
 
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_lane_kernel_matches_flat_kernel(data):
+    """Lane-partitioned dispatch is bit-identical to the flat kernel.
+
+    A random event program (delayed calls, URGENT priorities, zero-delay
+    sends fired *from* callbacks, cancellations, triggered events with
+    lane tags) replays on engines built with ``lanes=1``, ``2`` and ``8``.
+    The dispatch trace -- (time, tag) in firing order -- the final clock
+    and the Deferred pool population must match exactly: lane membership
+    may never influence ordering, only which queue holds an entry.
+    """
+    from repro.sim.engine import URGENT
+
+    delay_st = st.sampled_from([0.0, 0.0, 0.5, 1.0, 1.0, 2.5])
+    lane_st = st.integers(min_value=0, max_value=9)
+    n_ops = data.draw(st.integers(min_value=1, max_value=30))
+    program = []
+    n_cancellable = 0
+    for _ in range(n_ops):
+        kind = data.draw(st.sampled_from(
+            ["call", "call", "urgent", "chain", "event", "cancel"]))
+        if kind == "cancel" and n_cancellable == 0:
+            kind = "call"
+        if kind in ("call", "urgent"):
+            program.append((kind, data.draw(delay_st), data.draw(lane_st)))
+            n_cancellable += 1
+        elif kind == "chain":
+            # fires at its delay, then sends 1-3 zero-delay children into
+            # other lanes from inside the callback
+            children = data.draw(st.lists(lane_st, min_size=1, max_size=3))
+            program.append(
+                ("chain", data.draw(delay_st), data.draw(lane_st), children))
+            n_cancellable += 1
+        elif kind == "event":
+            program.append(("event", data.draw(delay_st), data.draw(lane_st)))
+        else:
+            program.append(
+                ("cancel", data.draw(st.integers(0, n_cancellable - 1))))
+
+    def replay(lanes):
+        engine = SimulationEngine(lanes=lanes)
+        trace = []
+        handles = []
+        for idx, op in enumerate(program):
+            kind = op[0]
+            if kind == "call":
+                handles.append(engine.call_later(
+                    op[1], lambda _a, i=idx: trace.append((engine.now, i)),
+                    lane=op[2]))
+            elif kind == "urgent":
+                handles.append(engine.call_later(
+                    op[1], lambda _a, i=idx: trace.append((engine.now, i)),
+                    priority=URGENT, lane=op[2]))
+            elif kind == "chain":
+                children = op[3]
+
+                def fire(_a, i=idx, children=children):
+                    trace.append((engine.now, i))
+                    for j, clane in enumerate(children):
+                        engine.call_later(
+                            0.0, lambda _a, i=i, j=j: trace.append(
+                                (engine.now, i, j)),
+                            lane=clane)
+
+                handles.append(engine.call_later(op[1], fire, lane=op[2]))
+            elif kind == "event":
+                ev = engine.event()
+                ev.lane = op[2]
+                ev.callbacks.append(
+                    lambda e, i=idx: trace.append((engine.now, i)))
+                ev._ok = True
+                ev._value = None
+                engine.schedule(ev, op[1])
+            else:  # cancel: all scheduling precedes run(), so the handle
+                # cannot have fired (and been recycled) yet
+                handles[op[1]].cancel()
+        engine.run()
+        return trace, engine.now, len(engine._pool)
+
+    flat = replay(1)
+    for lanes in (2, 8):
+        assert replay(lanes) == flat
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_sharded_batch_matches_sequential(data):
+    """``schedule_batch``/``release_batch`` equal the per-task loops.
+
+    Random rounds of batch submission followed by partial release replay
+    against a twin scheduler driven one task at a time.  After every
+    round both instances must agree on grant outcomes, exact slot
+    assignments, queue lengths, shard pending partitions, node free
+    counts *and* the placement stats (``place_attempts``, ``grants``,
+    ``passes``, ``memo_hits``) -- the batched run-coalescing and inline
+    cursor walk are pure mechanics, never policy.
+    """
+    from repro.pilot.agent.sharded import ShardedScheduler
+
+    n_nodes = data.draw(st.integers(min_value=1, max_value=6))
+    n_shards = data.draw(st.integers(min_value=1, max_value=4))
+    cores = data.draw(st.integers(min_value=2, max_value=8))
+    gpus = data.draw(st.integers(min_value=0, max_value=2))
+    with Session(seed=0) as sa, Session(seed=0) as sb:
+        nodes_a = NodeList.build(n_nodes, cores, gpus, 64.0)
+        nodes_b = NodeList.build(n_nodes, cores, gpus, 64.0)
+        batched = ShardedScheduler(sa, nodes_a, "pilot.sh", shards=n_shards)
+        seq = ShardedScheduler(sb, nodes_b, "pilot.sh", shards=n_shards)
+        node_names = [n.name for n in nodes_a]
+        pairs = {}          # uid -> (task_a, task_b)
+        released = set()
+
+        def check_equiv():
+            assert sorted(batched.held_tasks) == sorted(seq.held_tasks)
+            assert batched.queue_length == seq.queue_length
+            assert batched.shard_pending() == seq.shard_pending()
+            for uid, (ta, tb) in pairs.items():
+                assert [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                        for s in ta.slots] == \
+                    [(s.node_index, s.cores, s.gpus, s.mem_gb)
+                     for s in tb.slots], uid
+            for na, nb in zip(nodes_a, nodes_b):
+                assert na.free_cores == nb.free_cores
+                assert na.free_gpus == nb.free_gpus
+            sta, stb = batched.stats, seq.stats
+            assert (sta.place_attempts, sta.grants, sta.passes,
+                    sta.memo_hits) == \
+                (stb.place_attempts, stb.grants, stb.passes, stb.memo_hits)
+
+        n_rounds = data.draw(st.integers(min_value=1, max_value=4))
+        for r in range(n_rounds):
+            n_tasks = data.draw(st.integers(min_value=0, max_value=12))
+            tas, tbs = [], []
+            for i in range(n_tasks):
+                tags = {}
+                if data.draw(st.booleans()) and data.draw(st.booleans()):
+                    tags["colocate"] = data.draw(st.sampled_from("gh"))
+                elif data.draw(st.booleans()) and data.draw(st.booleans()):
+                    tags["affinity"] = data.draw(st.sampled_from("xy"))
+                desc = TaskDescription(
+                    executable="x", tags=tags,
+                    priority=data.draw(st.integers(0, 2)),
+                    ranks=data.draw(st.integers(1, 2)),
+                    cores_per_rank=data.draw(st.integers(1, cores + 1)),
+                    gpus_per_rank=data.draw(st.integers(0, max(gpus, 1))))
+                uid = f"t{r}.{i}"
+                ta, tb = Task(sa, desc, uid), Task(sb, desc, uid)
+                if data.draw(st.booleans()) and data.draw(st.booleans()):
+                    avoid = set(data.draw(st.lists(
+                        st.sampled_from(node_names), max_size=2)))
+                    ta.avoid_nodes = set(avoid)
+                    tb.avoid_nodes = set(avoid)
+                pairs[uid] = (ta, tb)
+                tas.append(ta)
+                tbs.append(tb)
+            events_a = batched.schedule_batch(tas)
+            events_b = [seq.schedule(tb) for tb in tbs]
+            assert [e.ok for e in events_a] == [e.ok for e in events_b]
+            check_equiv()
+            # release a random subset of the currently held tasks, batch
+            # against one-at-a-time (wakes may re-grant queued tasks on
+            # both sides between releases -- snapshot the subset first)
+            held = sorted(uid for uid, (ta, _tb) in pairs.items()
+                          if ta.slots and uid not in released)
+            if held:
+                victims = data.draw(st.lists(
+                    st.sampled_from(held), max_size=len(held), unique=True))
+                released.update(victims)
+                batched.release_batch([pairs[u][0] for u in victims])
+                for u in victims:
+                    seq.release(pairs[u][1])
+                check_equiv()
+
+
 # ---------------------------------------------------------------------------
 # Data subsystem: caches and replica registry
 # ---------------------------------------------------------------------------
